@@ -1,0 +1,93 @@
+package stac
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§5). One testing.B entry per exhibit: running
+//
+//	go test -bench=. -benchmem
+//
+// at the repository root reproduces the full evaluation and logs each
+// report. Benchmarks use the scaled experiment options (see
+// internal/experiments); pass -timeout 0 for the complete suite.
+
+import (
+	"bytes"
+	"testing"
+
+	"stac/internal/experiments"
+)
+
+// benchExperiment runs one experiment generator per benchmark iteration
+// and logs the rendered report once.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var rendered bool
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, experiments.Options{Seed: 2022})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rendered {
+			var buf bytes.Buffer
+			if err := rep.Render(&buf); err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("\n%s", buf.String())
+			rendered = true
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (benchmark characterisation).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates Table 2 (runtime-condition space).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkFig5 regenerates Figure 5 (training variance: deep forest vs
+// CNN).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6 (prediction error across modeling
+// approaches).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7a regenerates Figure 7(a) (per-collocation error).
+func BenchmarkFig7a(b *testing.B) { benchExperiment(b, "fig7a") }
+
+// BenchmarkFig7b regenerates Figure 7(b) (error across processor cache
+// sizes).
+func BenchmarkFig7b(b *testing.B) { benchExperiment(b, "fig7b") }
+
+// BenchmarkFig7c regenerates Figure 7(c) (multi-grain scanning ablation).
+func BenchmarkFig7c(b *testing.B) { benchExperiment(b, "fig7c") }
+
+// BenchmarkFig8 regenerates Figure 8(a-d) (policy speedups vs baselines).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig8e regenerates Figure 8(e) (deep forest vs simple-ML
+// policy search).
+func BenchmarkFig8e(b *testing.B) { benchExperiment(b, "fig8e") }
+
+// BenchmarkOverhead regenerates the §5.1 profiling-time study.
+func BenchmarkOverhead(b *testing.B) { benchExperiment(b, "overhead") }
+
+// BenchmarkSampling regenerates the stratified-sampling ablation (§4).
+func BenchmarkSampling(b *testing.B) { benchExperiment(b, "sampling") }
+
+// BenchmarkInsight regenerates the §5.2 concept-clustering insight.
+func BenchmarkInsight(b *testing.B) { benchExperiment(b, "insight") }
+
+// BenchmarkStage3 regenerates the pipeline-stage-contribution ablation.
+func BenchmarkStage3(b *testing.B) { benchExperiment(b, "stage3") }
+
+// BenchmarkReplacement regenerates the LLC replacement-policy ablation.
+func BenchmarkReplacement(b *testing.B) { benchExperiment(b, "replacement") }
+
+// BenchmarkPool regenerates the chain-vs-pool sharing extension.
+func BenchmarkPool(b *testing.B) { benchExperiment(b, "pool") }
+
+// BenchmarkSprint regenerates the cache-vs-frequency boost comparison.
+func BenchmarkSprint(b *testing.B) { benchExperiment(b, "sprint") }
+
+// BenchmarkImportance regenerates the EA-model feature-importance study.
+func BenchmarkImportance(b *testing.B) { benchExperiment(b, "importance") }

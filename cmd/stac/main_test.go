@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"stac/internal/experiments"
+)
+
+func TestParseExperimentArgs(t *testing.T) {
+	ids, opts, err := parseExperimentArgs([]string{"fig6", "-seed", "7", "-thorough"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "fig6" {
+		t.Fatalf("ids = %v", ids)
+	}
+	if opts.Seed != 7 || !opts.Thorough {
+		t.Fatalf("opts = %+v", opts)
+	}
+}
+
+func TestParseExperimentArgsMultipleIDs(t *testing.T) {
+	ids, opts, err := parseExperimentArgs([]string{"table1", "table2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if opts.Seed != 2022 {
+		t.Fatalf("default seed = %v", opts.Seed)
+	}
+}
+
+func TestParseExperimentArgsAll(t *testing.T) {
+	ids, _, err := parseExperimentArgs([]string{"all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(experiments.IDs()) {
+		t.Fatalf("all expanded to %d ids, want %d", len(ids), len(experiments.IDs()))
+	}
+}
+
+func TestParseExperimentArgsEmpty(t *testing.T) {
+	if _, _, err := parseExperimentArgs(nil); err == nil {
+		t.Fatal("missing id accepted")
+	}
+}

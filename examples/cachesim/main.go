@@ -1,0 +1,48 @@
+// Cache substrate demo: miss-ratio curves under CAT way masks.
+//
+// This example uses the low-level simulated hardware directly — the
+// set-associative LLC with per-CLOS capacity bitmasks — to show how each
+// benchmark workload's miss ratio responds to the number of allocated
+// ways. These curves are the physical mechanism behind short-term
+// allocation: workloads with steep curves (redis, bfs, spkmeans) gain a
+// lot from temporary extra ways; flat curves (knn, spstream) gain little.
+//
+// Run with:
+//
+//	go run ./examples/cachesim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stac"
+)
+
+func main() {
+	proc := stac.DefaultProcessor()
+	fmt.Printf("platform: %s (%d ways, %d MB LLC)\n\n", proc.Name, proc.Ways, proc.LLCMegabytes)
+
+	ways := []int{1, 2, 4, 6, 8, 12}
+	fmt.Printf("%-10s", "workload")
+	for _, w := range ways {
+		fmt.Printf("  %4d-way", w)
+	}
+	fmt.Println("   (memory accesses per 100 accesses)")
+
+	for _, k := range stac.Workloads() {
+		fmt.Printf("%-10s", k.Name)
+		for _, w := range ways {
+			frac, err := stac.MissCurvePoint(proc, k, w, 40000, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %7.1f", 100*frac)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nsteep curves explain Figure 8: redis and bfs convert shared ways into")
+	fmt.Println("large speedups, knn/kmeans fit in their private allocation, and the")
+	fmt.Println("streaming spstream misses regardless of allocation.")
+}

@@ -1,0 +1,92 @@
+// Chain policy search: short-term allocation for three collocated
+// services. The paper's §2 conjectures show contiguous CAT supports at
+// most pairwise sharing, arranged as a chain of private spans with shared
+// spans between neighbours; this example profiles such a chain, trains
+// the pipeline, and uses coordinate-descent search (stac.FindChainPolicy)
+// to pick one timeout per service — then validates the choice on the
+// testbed against the no-sharing baseline.
+//
+// Run with:
+//
+//	go run ./examples/chainpolicy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stac"
+)
+
+func main() {
+	names := []string{"redis", "bfs", "spkmeans"}
+	var kernels []stac.Kernel
+	for _, n := range names {
+		k, err := stac.WorkloadByName(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kernels = append(kernels, k)
+	}
+
+	// Profile the three-service chain under randomised conditions.
+	fmt.Println("profiling the redis | bfs | spkmeans chain ...")
+	ds, err := stac.ProfileChain(stac.ChainProfileOptions{
+		Kernels: kernels,
+		Seed:    100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d profile rows collected\n", ds.Len())
+
+	pred, err := stac.Train(ds, stac.TrainOptions{Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var scenarios []stac.Scenario
+	for _, n := range names {
+		s, err := stac.NewScenario(ds, n, 0.9, 0.9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scenarios = append(scenarios, s)
+	}
+	timeouts, err := stac.FindChainPolicy(pred, scenarios)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chain decision: ")
+	for i, n := range names {
+		fmt.Printf("%s=%.2gx ", n, timeouts[i])
+	}
+	fmt.Println()
+
+	// Validate against never-boost on the testbed.
+	measure := func(ts []float64) []float64 {
+		cond := stac.Condition{SharedWays: 1, Seed: 999}
+		for i, k := range kernels {
+			cond.Services = append(cond.Services, stac.ServiceSpec{
+				Kernel: k, Load: 0.9, Timeout: ts[i],
+			})
+		}
+		cond = cond.Defaults()
+		cond.QueriesPerService = 200
+		res, err := stac.Run(cond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := make([]float64, len(names))
+		for i := range res.Services {
+			out[i] = res.Services[i].P95Response()
+		}
+		return out
+	}
+	never := measure([]float64{stac.NeverBoost, stac.NeverBoost, stac.NeverBoost})
+	chosen := measure(timeouts)
+	fmt.Println("\np95 speedup vs no sharing:")
+	for i, n := range names {
+		fmt.Printf("  %-10s %.2fx\n", n, never[i]/chosen[i])
+	}
+}

@@ -1,0 +1,101 @@
+// Policy search: the full Figure 8-style comparison on one collocation.
+//
+// Redis (cache-hungry key-value store) shares LLC ways with the Social
+// microservice macro-benchmark at 90 % load. We compare every allocation
+// approach from the paper's evaluation: no sharing, static allocation,
+// workload-aware dCat, IPC-driven dynaSprint, and the model-driven
+// search — reporting p95 response-time speedup over no sharing.
+//
+// Run with:
+//
+//	go run ./examples/policysearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"stac"
+)
+
+func main() {
+	redis, err := stac.WorkloadByName("redis")
+	if err != nil {
+		log.Fatal(err)
+	}
+	social, err := stac.WorkloadByName("social")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := stac.PairContext{
+		KernelA: redis, KernelB: social,
+		LoadA: 0.9, LoadB: 0.9,
+		Seed: 7,
+	}
+
+	// Baseline policies probe the testbed directly, as the original
+	// systems would.
+	static, err := stac.StaticPolicy(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dcat, err := stac.DCatPolicy(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dyna, err := stac.DynaSprintPolicy(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The model-driven approach profiles once, trains, then searches
+	// offline.
+	fmt.Println("profiling and training the model-driven pipeline ...")
+	ds, err := stac.Profile(stac.ProfileOptions{
+		KernelA: redis, KernelB: social, Points: 24, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := stac.Train(ds, stac.TrainOptions{Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sa, err := stac.NewScenario(ds, "redis", 0.9, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sb, err := stac.NewScenario(ds, "social", 0.9, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ours, err := stac.FindPolicy(pred, sa, sb)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-14s %-22s %-12s %-12s\n", "policy", "timeouts (xSvcTime)", "redis p95", "social p95")
+	for _, d := range []stac.Decision{static, dcat, dyna, ours} {
+		sp, err := stac.EvaluatePolicy(ctx, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %-22s %-12s %-12s\n",
+			d.Name, timeouts(d), speedup(sp[0]), speedup(sp[1]))
+	}
+	fmt.Println("\nspeedups are p95 response time relative to the private-cache-only baseline.")
+}
+
+func timeouts(d stac.Decision) string {
+	f := func(v float64) string {
+		if math.IsInf(v, 1) {
+			return "never"
+		}
+		return fmt.Sprintf("%.2g", v)
+	}
+	return fmt.Sprintf("(%s, %s)", f(d.TimeoutA), f(d.TimeoutB))
+}
+
+func speedup(v float64) string { return fmt.Sprintf("%.2fx", v) }

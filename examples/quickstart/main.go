@@ -1,0 +1,93 @@
+// Quickstart: the minimal end-to-end flow of the short-term cache
+// allocation pipeline. Two online services (a Redis-like key-value store
+// and a BFS graph kernel) are collocated on a simulated Xeon; we profile
+// them under a handful of runtime conditions, train the deep-forest
+// effective-allocation model, predict response time for an unseen
+// condition, and let the model pick short-term allocation timeouts.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stac"
+)
+
+func main() {
+	redis, err := stac.WorkloadByName("redis")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bfs, err := stac.WorkloadByName("bfs")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 1: profile the collocated pair under sampled runtime
+	// conditions (arrival rates, timeouts) on the simulated testbed.
+	fmt.Println("profiling redis + bfs ...")
+	ds, err := stac.Profile(stac.ProfileOptions{
+		KernelA: redis,
+		KernelB: bfs,
+		Points:  20,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d profile rows collected\n", ds.Len())
+
+	// Stage 2 + 3: train the deep forest on effective cache allocation
+	// and wrap it with the queueing simulator.
+	fmt.Println("training the deep-forest pipeline ...")
+	pred, err := stac.Train(ds, stac.TrainOptions{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Predict response time for an unseen condition: redis at 90 % load
+	// with a timeout of 1x its service time, while bfs never boosts.
+	scen, err := stac.NewScenario(ds, "redis", 0.9, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scen.Timeout = 1.0
+	scen.PartnerTimeout = stac.NeverBoost
+	p, err := pred.PredictResponse(scen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted for redis @ 90%% load, timeout 1.0x:\n")
+	fmt.Printf("  effective allocation %.2f, mean response %.3gs, p95 %.3gs, boosted %.0f%%\n",
+		p.EA, p.MeanResponse, p.P95Response, 100*p.BoostedFrac)
+
+	// Model-driven policy search: pick the timeout vector balancing both
+	// services (§5.2's SLO matching).
+	sa, err := stac.NewScenario(ds, "redis", 0.9, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sb, err := stac.NewScenario(ds, "bfs", 0.9, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := stac.FindPolicy(pred, sa, sb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model-driven policy: timeout(redis)=%.2gx timeout(bfs)=%.2gx of service time\n",
+		d.TimeoutA, d.TimeoutB)
+
+	// Validate the decision on the testbed against the no-sharing
+	// baseline.
+	ctx := stac.PairContext{KernelA: redis, KernelB: bfs, LoadA: 0.9, LoadB: 0.9, Seed: 3}
+	sp, err := stac.EvaluatePolicy(ctx, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured p95 speedup vs no sharing: redis %.2fx, bfs %.2fx\n", sp[0], sp[1])
+}

@@ -1,0 +1,56 @@
+package cache
+
+import (
+	"testing"
+
+	"stac/internal/stats"
+)
+
+func BenchmarkAccessHit(b *testing.B) {
+	c, err := New(Config{Sets: 512, Ways: 20, LineSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Access(0, 0, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, 0, false)
+	}
+}
+
+func BenchmarkAccessMixed(b *testing.B) {
+	c, err := New(Config{Sets: 512, Ways: 20, LineSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(i&3, addrs[i&4095], i&7 == 0)
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h, err := NewHierarchy(HierarchyConfig{
+		Cores: 4,
+		L1:    Config{Sets: 8, Ways: 4, LineSize: 64},
+		L2:    Config{Sets: 32, Ways: 8, LineSize: 64},
+		LLC:   Config{Sets: 512, Ways: 20, LineSize: 64},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 19))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(i&3, i&3, addrs[i&4095], false)
+	}
+}

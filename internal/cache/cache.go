@@ -1,0 +1,411 @@
+// Package cache implements a set-associative cache simulator with Intel
+// CAT-style way masks: each class of service (CLOS) owns a capacity
+// bitmask and may only *install* lines into permitted ways, exactly the
+// write-enable gating of the paper's Figure 1. Lookups hit in any way
+// (CAT restricts fills, not hits), replacement is LRU restricted to the
+// permitted ways, and per-CLOS accounting exposes the hit/miss/eviction
+// counters the profiling stage samples.
+//
+// The simulator is a scale model: simulating a 40 MB LLC line-by-line for
+// thousands of experiment conditions would be needlessly slow, so the
+// default geometry keeps the *way count* of the modelled Xeon (way masks
+// are what CAT controls) while shrinking the number of sets. Workload
+// working-set sizes are scaled by the same factor, preserving the
+// miss-ratio-versus-ways behaviour that drives the paper's phenomena.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxCLOS is the number of classes of service the simulator supports,
+// matching the 16 CLOS registers of contemporary Xeon CAT hardware.
+const MaxCLOS = 16
+
+// Replacement selects the victim-choice policy within a set.
+type Replacement int
+
+const (
+	// ReplaceLRU evicts the least recently used permitted line (the
+	// default, and the policy assumed throughout the evaluation).
+	ReplaceLRU Replacement = iota
+	// ReplaceRandom evicts a uniformly random permitted line
+	// (deterministic per cache instance).
+	ReplaceRandom
+	// ReplaceBitPLRU approximates LRU with per-line MRU bits, the
+	// pseudo-LRU found in real LLC designs: lines accrue an MRU bit on
+	// touch; when every permitted line is marked, marks reset.
+	ReplaceBitPLRU
+)
+
+// String names the replacement policy.
+func (r Replacement) String() string {
+	switch r {
+	case ReplaceLRU:
+		return "LRU"
+	case ReplaceRandom:
+		return "random"
+	case ReplaceBitPLRU:
+		return "bit-PLRU"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes cache geometry.
+type Config struct {
+	Sets     int // number of sets, power of two
+	Ways     int // associativity; also the granularity of CAT masks
+	LineSize int // bytes per line, power of two
+	// Replace selects the replacement policy (default LRU).
+	Replace Replacement
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Sets <= 0 || c.Sets&(c.Sets-1) != 0:
+		return fmt.Errorf("cache: sets %d must be a positive power of two", c.Sets)
+	case c.Ways <= 0 || c.Ways > 64:
+		return fmt.Errorf("cache: ways %d out of (0,64]", c.Ways)
+	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache: line size %d must be a positive power of two", c.LineSize)
+	}
+	return nil
+}
+
+// Bytes returns the total capacity in bytes.
+func (c Config) Bytes() int { return c.Sets * c.Ways * c.LineSize }
+
+// Stats accumulates per-CLOS access accounting.
+type Stats struct {
+	Loads  uint64 // read accesses
+	Stores uint64 // write accesses
+	Hits   uint64
+	Misses uint64
+	// LoadMisses and StoreMisses split Misses by access type.
+	LoadMisses  uint64
+	StoreMisses uint64
+	// Installs counts lines actually filled (misses that found a
+	// permitted way; misses with an empty effective mask bypass).
+	Installs uint64
+	// Prefetches counts lines installed by Prefetch rather than demand
+	// misses.
+	Prefetches uint64
+	// EvictionsCaused counts valid lines belonging to a *different* CLOS
+	// that this CLOS displaced — the contention signal.
+	EvictionsCaused uint64
+	// EvictionsSuffered counts this CLOS's lines displaced by others.
+	EvictionsSuffered uint64
+}
+
+// MissRatio returns misses / (hits+misses), or 0 with no accesses.
+func (s Stats) MissRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// Accesses returns the total number of accesses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// Cache is a single level of set-associative cache with CAT way masks.
+// It is not safe for concurrent use; the simulated machine serialises
+// accesses (the testbed advances simulated time single-threadedly).
+type Cache struct {
+	cfg      Config
+	setShift uint
+	setMask  uint64
+
+	// Flat line arrays indexed by set*ways+way.
+	tags    []uint64
+	valid   []bool
+	owner   []uint8
+	lastUse []uint64
+	mru     []bool // bit-PLRU marks
+
+	clock    uint64
+	rngState uint64 // deterministic stream for random replacement
+	masks    [MaxCLOS]uint64
+	stats    [MaxCLOS]Stats
+}
+
+// New builds a cache with the given geometry; all CLOS masks start fully
+// open (every way permitted).
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Sets * cfg.Ways
+	c := &Cache{
+		cfg:      cfg,
+		setShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		setMask:  uint64(cfg.Sets - 1),
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		owner:    make([]uint8, n),
+		lastUse:  make([]uint64, n),
+		mru:      make([]bool, n),
+		rngState: 0x9e3779b97f4a7c15,
+	}
+	full := fullMask(cfg.Ways)
+	for i := range c.masks {
+		c.masks[i] = full
+	}
+	return c, nil
+}
+
+func fullMask(ways int) uint64 {
+	if ways >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(ways)) - 1
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SetMask installs the capacity bitmask for a CLOS. Bits above the way
+// count are ignored. An all-zero effective mask is legal but makes the
+// CLOS bypass the cache on fills (real CAT rejects empty CBMs; the
+// simulator keeps it permissive so callers can model bypass experiments).
+func (c *Cache) SetMask(clos int, mask uint64) {
+	c.masks[clos] = mask & fullMask(c.cfg.Ways)
+}
+
+// Mask returns the current capacity bitmask of a CLOS.
+func (c *Cache) Mask(clos int) uint64 { return c.masks[clos] }
+
+// Stats returns a copy of the accounting for a CLOS.
+func (c *Cache) Stats(clos int) Stats { return c.stats[clos] }
+
+// ResetStats zeroes all per-CLOS accounting without disturbing contents.
+func (c *Cache) ResetStats() {
+	for i := range c.stats {
+		c.stats[i] = Stats{}
+	}
+}
+
+// Flush invalidates the entire cache and resets statistics.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.clock = 0
+	c.ResetStats()
+}
+
+// Access performs one memory access by CLOS clos at byte address addr.
+// write distinguishes stores from loads (both probe and fill identically;
+// the distinction only feeds the Loads/Stores counters). It returns true
+// on a hit.
+func (c *Cache) Access(clos int, addr uint64, write bool) bool {
+	st := &c.stats[clos]
+	if write {
+		st.Stores++
+	} else {
+		st.Loads++
+	}
+	c.clock++
+
+	lineAddr := addr >> c.setShift
+	set := int(lineAddr & c.setMask)
+	tag := lineAddr >> uint(bits.TrailingZeros(uint(c.cfg.Sets)))
+	base := set * c.cfg.Ways
+
+	// Probe: hits are allowed in any way regardless of the mask.
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			st.Hits++
+			c.lastUse[i] = c.clock
+			c.touchMRU(base, i)
+			return true
+		}
+	}
+	st.Misses++
+	if write {
+		st.StoreMisses++
+	} else {
+		st.LoadMisses++
+	}
+
+	// Fill: restricted to the CLOS's permitted ways.
+	mask := c.masks[clos]
+	if mask == 0 {
+		return false // bypass — no way to install into
+	}
+	victim := c.chooseVictim(base, mask)
+	if victim < 0 {
+		return false
+	}
+	if c.valid[victim] && int(c.owner[victim]) != clos {
+		st.EvictionsCaused++
+		c.stats[c.owner[victim]].EvictionsSuffered++
+	}
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.owner[victim] = uint8(clos)
+	c.lastUse[victim] = c.clock
+	c.touchMRU(base, victim)
+	st.Installs++
+	return false
+}
+
+// chooseVictim picks the line to evict among the permitted ways of a set
+// according to the configured replacement policy. Invalid permitted lines
+// are always preferred.
+func (c *Cache) chooseVictim(base int, mask uint64) int {
+	// Invalid lines first, regardless of policy.
+	for w := 0; w < c.cfg.Ways; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		if !c.valid[base+w] {
+			return base + w
+		}
+	}
+	switch c.cfg.Replace {
+	case ReplaceRandom:
+		n := bits.OnesCount64(mask)
+		if n == 0 {
+			return -1
+		}
+		pick := int(c.nextRand() % uint64(n))
+		for w := 0; w < c.cfg.Ways; w++ {
+			if mask&(1<<uint(w)) == 0 {
+				continue
+			}
+			if pick == 0 {
+				return base + w
+			}
+			pick--
+		}
+		return -1
+	case ReplaceBitPLRU:
+		for w := 0; w < c.cfg.Ways; w++ {
+			if mask&(1<<uint(w)) == 0 {
+				continue
+			}
+			if !c.mru[base+w] {
+				return base + w
+			}
+		}
+		// All permitted lines marked (can happen when marks were set by
+		// other CLOS's hits): fall back to the first permitted way.
+		for w := 0; w < c.cfg.Ways; w++ {
+			if mask&(1<<uint(w)) != 0 {
+				return base + w
+			}
+		}
+		return -1
+	default: // ReplaceLRU
+		victim := -1
+		var oldest uint64 = ^uint64(0)
+		for w := 0; w < c.cfg.Ways; w++ {
+			if mask&(1<<uint(w)) == 0 {
+				continue
+			}
+			i := base + w
+			if c.lastUse[i] < oldest {
+				oldest = c.lastUse[i]
+				victim = i
+			}
+		}
+		return victim
+	}
+}
+
+// touchMRU marks a line most-recently-used for bit-PLRU and resets the
+// set's marks once every valid line is marked.
+func (c *Cache) touchMRU(base, i int) {
+	if c.cfg.Replace != ReplaceBitPLRU {
+		return
+	}
+	c.mru[i] = true
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && !c.mru[base+w] {
+			return
+		}
+	}
+	for w := 0; w < c.cfg.Ways; w++ {
+		if base+w != i {
+			c.mru[base+w] = false
+		}
+	}
+}
+
+// nextRand advances the cache's deterministic xorshift stream.
+func (c *Cache) nextRand() uint64 {
+	x := c.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rngState = x
+	return x
+}
+
+// Prefetch installs the line containing addr for clos without touching
+// the demand counters (Loads/Hits/Misses). It reports whether a fill
+// happened (false when the line was already resident or no way was
+// permitted). Used by the hierarchy's next-line prefetcher.
+func (c *Cache) Prefetch(clos int, addr uint64) bool {
+	c.clock++
+	lineAddr := addr >> c.setShift
+	set := int(lineAddr & c.setMask)
+	tag := lineAddr >> uint(bits.TrailingZeros(uint(c.cfg.Sets)))
+	base := set * c.cfg.Ways
+
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			return false // already resident; do not perturb recency
+		}
+	}
+	mask := c.masks[clos]
+	if mask == 0 {
+		return false
+	}
+	victim := c.chooseVictim(base, mask)
+	if victim < 0 {
+		return false
+	}
+	st := &c.stats[clos]
+	if c.valid[victim] && int(c.owner[victim]) != clos {
+		st.EvictionsCaused++
+		c.stats[c.owner[victim]].EvictionsSuffered++
+	}
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.owner[victim] = uint8(clos)
+	c.lastUse[victim] = c.clock
+	c.touchMRU(base, victim)
+	st.Installs++
+	st.Prefetches++
+	return true
+}
+
+// Occupancy returns the number of valid lines currently owned by clos.
+func (c *Cache) Occupancy(clos int) int {
+	n := 0
+	for i, v := range c.valid {
+		if v && int(c.owner[i]) == clos {
+			n++
+		}
+	}
+	return n
+}
+
+// ValidLines returns the total number of valid lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

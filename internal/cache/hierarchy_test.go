@@ -1,0 +1,148 @@
+package cache
+
+import (
+	"testing"
+
+	"stac/internal/stats"
+)
+
+func testHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		Cores: 2,
+		L1:    Config{Sets: 8, Ways: 4, LineSize: 64},
+		L2:    Config{Sets: 32, Ways: 8, LineSize: 64},
+		LLC:   Config{Sets: 128, Ways: 16, LineSize: 64},
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h, err := NewHierarchy(testHierarchyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold: memory. Then the line is resident at every level: L1 hit.
+	if lvl := h.Access(0, 0, 0x4000, false); lvl != LevelMemory {
+		t.Fatalf("cold access level %v, want MEM", lvl)
+	}
+	if lvl := h.Access(0, 0, 0x4000, false); lvl != LevelL1 {
+		t.Fatalf("warm access level %v, want L1", lvl)
+	}
+}
+
+func TestHierarchyL2HitAfterL1Eviction(t *testing.T) {
+	cfg := testHierarchyConfig()
+	cfg.L1 = Config{Sets: 1, Ways: 1, LineSize: 64} // single-line L1
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, 0, 0, false)  // line A resident everywhere
+	h.Access(0, 0, 64, false) // line B evicts A from L1
+	if lvl := h.Access(0, 0, 0, false); lvl != LevelL2 {
+		t.Fatalf("level %v, want L2", lvl)
+	}
+}
+
+func TestHierarchyPrivateL1PerCore(t *testing.T) {
+	h, err := NewHierarchy(testHierarchyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, 0, 0x1000, false)
+	// Core 1 never touched the line; its fastest hit is the shared LLC.
+	if lvl := h.Access(1, 0, 0x1000, false); lvl != LevelLLC {
+		t.Fatalf("cross-core access level %v, want LLC", lvl)
+	}
+}
+
+func TestHierarchyMaskAffectsLLCOnly(t *testing.T) {
+	h, err := NewHierarchy(testHierarchyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetMask(0, 0) // CLOS 0 cannot fill LLC
+	h.Access(0, 0, 0x2000, false)
+	// Line fills L1/L2 but not LLC; L1 still hits.
+	if lvl := h.Access(0, 0, 0x2000, false); lvl != LevelL1 {
+		t.Fatalf("level %v, want L1 (private caches unaffected by CAT)", lvl)
+	}
+	if h.LLC().ValidLines() != 0 {
+		t.Fatal("LLC filled despite empty mask")
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	cfg := testHierarchyConfig()
+	cfg.Cores = 0
+	if _, err := NewHierarchy(cfg); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	cfg = testHierarchyConfig()
+	cfg.L2.Sets = 3
+	if _, err := NewHierarchy(cfg); err == nil {
+		t.Fatal("bad L2 accepted")
+	}
+}
+
+func TestHierarchyFlushAndStats(t *testing.T) {
+	h, err := NewHierarchy(testHierarchyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, 0, 0, false)
+	if h.L1Stats(0).Accesses() == 0 {
+		t.Fatal("L1 stats not recorded")
+	}
+	h.ResetStats()
+	if h.L1Stats(0).Accesses() != 0 || h.L2Stats(0).Accesses() != 0 {
+		t.Fatal("ResetStats incomplete")
+	}
+	h.Flush()
+	if lvl := h.Access(0, 0, 0, false); lvl != LevelMemory {
+		t.Fatalf("after flush level %v, want MEM", lvl)
+	}
+}
+
+func TestHierarchyTrafficConservation(t *testing.T) {
+	// Every L1 miss becomes an L2 access; every L2 miss becomes an LLC
+	// access. The per-level counters must conserve traffic exactly.
+	h, err := NewHierarchy(testHierarchyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(77)
+	for i := 0; i < 50000; i++ {
+		core := r.Intn(2)
+		h.Access(core, core, uint64(r.Intn(1<<16))*64, r.Float64() < 0.3)
+	}
+	var l1Misses, l2Accesses, l2Misses uint64
+	for core := 0; core < 2; core++ {
+		l1 := h.L1Stats(core)
+		l2 := h.L2Stats(core)
+		l1Misses += l1.Misses
+		l2Accesses += l2.Accesses()
+		l2Misses += l2.Misses
+	}
+	llcAccesses := uint64(0)
+	for clos := 0; clos < 2; clos++ {
+		llcAccesses += h.LLC().Stats(clos).Accesses()
+	}
+	if l1Misses != l2Accesses {
+		t.Fatalf("L1 misses %d != L2 accesses %d", l1Misses, l2Accesses)
+	}
+	if l2Misses != llcAccesses {
+		t.Fatalf("L2 misses %d != LLC accesses %d", l2Misses, llcAccesses)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	names := map[Level]string{LevelL1: "L1", LevelL2: "L2", LevelLLC: "LLC", LevelMemory: "MEM"}
+	for lvl, want := range names {
+		if got := lvl.String(); got != want {
+			t.Errorf("Level %d = %q, want %q", int(lvl), got, want)
+		}
+	}
+	if Level(9).String() == "" {
+		t.Error("unknown level should still render")
+	}
+}

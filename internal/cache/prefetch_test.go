@@ -1,0 +1,84 @@
+package cache
+
+import (
+	"testing"
+
+	"stac/internal/stats"
+)
+
+func TestPrefetchInstallsWithoutDemandCounters(t *testing.T) {
+	c, err := New(Config{Sets: 4, Ways: 4, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Prefetch(0, 0x1000) {
+		t.Fatal("prefetch into empty cache should fill")
+	}
+	st := c.Stats(0)
+	if st.Accesses() != 0 {
+		t.Fatalf("prefetch counted as demand access: %+v", st)
+	}
+	if st.Prefetches != 1 || st.Installs != 1 {
+		t.Fatalf("prefetch accounting wrong: %+v", st)
+	}
+	// The prefetched line now hits on demand.
+	if !c.Access(0, 0x1000, false) {
+		t.Fatal("prefetched line did not hit")
+	}
+	// Prefetching a resident line is a no-op.
+	if c.Prefetch(0, 0x1000) {
+		t.Fatal("resident prefetch should not fill")
+	}
+}
+
+func TestPrefetchRespectsMask(t *testing.T) {
+	c, err := New(Config{Sets: 1, Ways: 4, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetMask(0, 0)
+	if c.Prefetch(0, 0) {
+		t.Fatal("prefetch with empty mask should bypass")
+	}
+	if c.ValidLines() != 0 {
+		t.Fatal("bypassed prefetch installed a line")
+	}
+}
+
+// streamMissFrac measures the memory-access fraction of a sequential
+// stream through a hierarchy with or without the next-line prefetcher.
+func streamMissFrac(t *testing.T, prefetch bool) float64 {
+	t.Helper()
+	cfg := HierarchyConfig{
+		Cores:            1,
+		L1:               Config{Sets: 8, Ways: 4, LineSize: 64},
+		L2:               Config{Sets: 32, Ways: 8, LineSize: 64},
+		LLC:              Config{Sets: 128, Ways: 8, LineSize: 64},
+		NextLinePrefetch: prefetch,
+	}
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = stats.NewRNG(0)
+	n := 20000
+	mem := 0
+	for i := 0; i < n; i++ {
+		if h.Access(0, 0, uint64(i)*64, false) == LevelMemory {
+			mem++
+		}
+	}
+	return float64(mem) / float64(n)
+}
+
+func TestNextLinePrefetchHelpsStreams(t *testing.T) {
+	off := streamMissFrac(t, false)
+	on := streamMissFrac(t, true)
+	t.Logf("stream memory fraction: prefetch off %.3f, on %.3f", off, on)
+	if on >= off {
+		t.Fatalf("next-line prefetch should cut stream misses: %v >= %v", on, off)
+	}
+	if on > 0.05 {
+		t.Fatalf("prefetched stream still misses %.1f%%, want near zero", 100*on)
+	}
+}

@@ -1,0 +1,322 @@
+package cat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSettingMask(t *testing.T) {
+	cases := []struct {
+		s    Setting
+		want uint64
+	}{
+		{Setting{0, 1}, 0b1},
+		{Setting{0, 2}, 0b11},
+		{Setting{2, 3}, 0b11100},
+		{Setting{5, 2}, 0b1100000},
+	}
+	for _, c := range cases {
+		if got := c.s.Mask(); got != c.want {
+			t.Errorf("%v.Mask() = %#b, want %#b", c.s, got, c.want)
+		}
+	}
+}
+
+func TestFromMaskRoundTrip(t *testing.T) {
+	f := func(offRaw, lenRaw uint8) bool {
+		off := int(offRaw % 32)
+		length := int(lenRaw%32) + 1
+		if off+length > MaxWays {
+			return true
+		}
+		s := Setting{Offset: off, Length: length}
+		got, err := FromMask(s.Mask())
+		return err == nil && got.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromMaskRejectsNonContiguous(t *testing.T) {
+	for _, m := range []uint64{0, 0b101, 0b1001, 0b110011} {
+		if _, err := FromMask(m); err == nil {
+			t.Errorf("FromMask(%#b) accepted an illegal CBM", m)
+		}
+	}
+}
+
+func TestSettingValidate(t *testing.T) {
+	cases := []struct {
+		s       Setting
+		ways    int
+		wantErr bool
+	}{
+		{Setting{0, 2}, 20, false},
+		{Setting{18, 2}, 20, false},
+		{Setting{19, 2}, 20, true},
+		{Setting{0, 0}, 20, true},
+		{Setting{-1, 2}, 20, true},
+		{Setting{0, 2}, 0, true},
+	}
+	for _, c := range cases {
+		err := c.s.Validate(c.ways)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%v.Validate(%d): err=%v, wantErr=%v", c.s, c.ways, err, c.wantErr)
+		}
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := Setting{0, 4}
+	b := Setting{2, 4}
+	c := Setting{4, 2}
+	if got := a.Overlap(b); got != 2 {
+		t.Errorf("overlap(a,b) = %d, want 2", got)
+	}
+	if got := a.Overlap(c); got != 0 {
+		t.Errorf("overlap(a,c) = %d, want 0", got)
+	}
+	if got := b.Overlap(a); got != 2 {
+		t.Errorf("overlap symmetric failed")
+	}
+}
+
+func TestSTAPValidateBoostMustCoverDefault(t *testing.T) {
+	p := STAP{
+		Default: Setting{0, 2},
+		Boost:   Setting{2, 4}, // does not include ways 0,1
+	}
+	if err := p.Validate(20); err == nil {
+		t.Fatal("boost not covering default should be rejected")
+	}
+	p.Boost = Setting{0, 4}
+	if err := p.Validate(20); err != nil {
+		t.Fatalf("legal STAP rejected: %v", err)
+	}
+}
+
+func TestSTAPBoostRatio(t *testing.T) {
+	p := STAP{Default: Setting{0, 2}, Boost: Setting{0, 4}}
+	if got := p.BoostRatio(); got != 2 {
+		t.Fatalf("BoostRatio = %v, want 2", got)
+	}
+}
+
+func TestPrivateAndShared(t *testing.T) {
+	// Paper's example: A private {0,1}, B private {4,5}, shared {2,3}.
+	l, err := PlanPair(6, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPrivA := []int{0, 1}
+	wantPrivB := []int{4, 5}
+	wantShared := []int{2, 3}
+	eq := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if got := l.Private(0); !eq(got, wantPrivA) {
+		t.Errorf("Private(0) = %v, want %v", got, wantPrivA)
+	}
+	if got := l.Private(1); !eq(got, wantPrivB) {
+		t.Errorf("Private(1) = %v, want %v", got, wantPrivB)
+	}
+	if got := l.Shared(0); !eq(got, wantShared) {
+		t.Errorf("Shared(0) = %v, want %v", got, wantShared)
+	}
+	if got := l.Shared(1); !eq(got, wantShared) {
+		t.Errorf("Shared(1) = %v, want %v", got, wantShared)
+	}
+}
+
+// TestConjecturePrivateDisjoint property-tests the paper's first
+// conjecture: under contiguous allocation, the private regions of chain
+// layouts are pairwise disjoint.
+func TestConjecturePrivateDisjoint(t *testing.T) {
+	f := func(nRaw, privRaw, shRaw uint8) bool {
+		n := int(nRaw%5) + 2
+		priv := int(privRaw%3) + 1
+		sh := int(shRaw % 4)
+		total := n*priv + (n-1)*sh
+		l, err := PlanChain(total, n, priv, sh)
+		if err != nil {
+			return true // infeasible configuration, skip
+		}
+		seen := map[int]int{}
+		for i := range l.Policies {
+			for _, w := range l.Private(i) {
+				if prev, ok := seen[w]; ok && prev != i {
+					return false
+				}
+				seen[w] = i
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConjectureAtMostTwoSharers property-tests the second conjecture: if
+// all policies include private cache, a short-term allocation shares cache
+// with at most two other settings.
+func TestConjectureAtMostTwoSharers(t *testing.T) {
+	f := func(nRaw, privRaw, shRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		priv := int(privRaw%3) + 1
+		sh := int(shRaw%3) + 1
+		total := n*priv + (n-1)*sh
+		l, err := PlanChain(total, n, priv, sh)
+		if err != nil {
+			return true
+		}
+		for i, p := range l.Policies {
+			if p.SharerCount(l.others(i)) > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanPairErrors(t *testing.T) {
+	if _, err := PlanPair(5, 2, 2); err == nil {
+		t.Error("PlanPair should fail when ways do not fit")
+	}
+	if _, err := PlanPair(10, 0, 2); err == nil {
+		t.Error("PlanPair should reject zero private ways")
+	}
+	if _, err := PlanPair(10, 2, -1); err == nil {
+		t.Error("PlanPair should reject negative shared ways")
+	}
+}
+
+func TestPlanChainSingle(t *testing.T) {
+	l, err := PlanChain(4, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Policies) != 1 {
+		t.Fatalf("want 1 policy, got %d", len(l.Policies))
+	}
+	// A single workload has no sharers; boost equals default span.
+	if got := l.Policies[0].Boost; !got.Equal(Setting{0, 2}) {
+		t.Fatalf("single-workload boost = %v, want [0,2)", got)
+	}
+}
+
+func TestWithTimeouts(t *testing.T) {
+	l, err := PlanPair(8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := l.WithTimeouts([]float64{1.5, 3})
+	if l2.Policies[0].Timeout != 1.5 || l2.Policies[1].Timeout != 3 {
+		t.Fatal("timeouts not installed")
+	}
+	if l.Policies[0].Timeout != 0 {
+		t.Fatal("WithTimeouts mutated the original layout")
+	}
+}
+
+func TestWithTimeoutsPanicsOnMismatch(t *testing.T) {
+	l, _ := PlanPair(8, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.WithTimeouts([]float64{1})
+}
+
+func TestPlanPoolBreaksTwoSharerBound(t *testing.T) {
+	// With a shared pool, four workloads' boosts all overlap: the ≤2
+	// sharers property of strictly pairwise contiguous layouts no longer
+	// holds — the point of the §2 discussion about non-contiguous
+	// sharing.
+	l, err := PlanPool(12, 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range l.SharerCounts() {
+		if c != 3 {
+			t.Fatalf("pool policy %d shares with %d others, want 3 (n-1)", i, c)
+		}
+	}
+	// Private regions must still be disjoint and non-empty.
+	seen := map[int]int{}
+	for i := range l.Policies {
+		priv := l.Private(i)
+		if len(priv) == 0 {
+			t.Fatalf("policy %d lost its private ways", i)
+		}
+		for _, w := range priv {
+			if prev, ok := seen[w]; ok {
+				t.Fatalf("way %d private to both %d and %d", w, prev, i)
+			}
+			seen[w] = i
+		}
+	}
+	// The construction requires masks real CAT rejects.
+	if l.Contiguous() {
+		t.Fatal("pool layout unexpectedly expressible with contiguous CBMs")
+	}
+	// A single workload bordering the pool IS contiguous.
+	single, err := PlanPool(4, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single.Contiguous() {
+		t.Fatal("single-workload pool should be contiguous")
+	}
+}
+
+func TestPlanPoolErrors(t *testing.T) {
+	if _, err := PlanPool(6, 4, 2, 4); err == nil {
+		t.Error("overcommitted pool accepted")
+	}
+	if _, err := PlanPool(12, 0, 2, 4); err == nil {
+		t.Error("zero workloads accepted")
+	}
+	if _, err := PlanPool(12, 2, 2, 0); err == nil {
+		t.Error("zero pool accepted")
+	}
+}
+
+func TestChainSharerCountsAtMostTwo(t *testing.T) {
+	l, err := PlanChain(20, 5, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range l.SharerCounts() {
+		if c > 2 {
+			t.Fatalf("chain policy %d shares with %d (>2)", i, c)
+		}
+	}
+}
+
+func TestLayoutValidateCatchesMissingPrivate(t *testing.T) {
+	// Two policies with identical spans: nobody has private cache.
+	l := Layout{
+		TotalWays: 8,
+		Policies: []STAP{
+			{Default: Setting{0, 4}, Boost: Setting{0, 4}},
+			{Default: Setting{0, 4}, Boost: Setting{0, 4}},
+		},
+	}
+	if err := l.Validate(); err == nil {
+		t.Fatal("layout without private ways should be rejected")
+	}
+}

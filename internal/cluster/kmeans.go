@@ -1,0 +1,199 @@
+// Package cluster implements k-means clustering. The profiler uses it for
+// stratified sampling of runtime conditions (§4: seed experiments are
+// clustered by effective cache allocation and new settings are drawn near
+// the centroids), and the evaluation uses it to cluster workloads by the
+// deep-forest concepts they activate (§5.2's insight experiment).
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"stac/internal/stats"
+)
+
+// Result holds a k-means clustering.
+type Result struct {
+	// Centroids are the k cluster centres.
+	Centroids [][]float64
+	// Assign maps each input point to its cluster index.
+	Assign []int
+	// Inertia is the total squared distance of points to their centroids.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// KMeans clusters points into k clusters using Lloyd's algorithm with
+// k-means++ seeding. It is deterministic for a fixed RNG. maxIter bounds
+// the iterations (25 is plenty for the profiler's small inputs).
+func KMeans(points [][]float64, k, maxIter int, rng *stats.RNG) (Result, error) {
+	if len(points) == 0 {
+		return Result{}, fmt.Errorf("cluster: no points")
+	}
+	if k <= 0 {
+		return Result{}, fmt.Errorf("cluster: k must be positive, got %d", k)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return Result{}, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	res := Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := sqDist(p, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		res.Iterations = iter + 1
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; empty clusters keep their old centre.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+	res.Centroids = centroids
+	res.Assign = assign
+	for i, p := range points {
+		res.Inertia += sqDist(p, centroids[assign[i]])
+	}
+	return res, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ heuristic.
+func seedPlusPlus(points [][]float64, k int, rng *stats.RNG) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := append([]float64(nil), points[rng.Intn(len(points))]...)
+	centroids = append(centroids, first)
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var next int
+		if total == 0 {
+			next = rng.Intn(len(points))
+		} else {
+			u := rng.Float64() * total
+			acc := 0.0
+			for i, d := range d2 {
+				acc += d
+				if acc >= u {
+					next = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[next]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering, a
+// quality measure in [-1, 1]; higher is better-separated. Used by the
+// §5.2 insight experiment to compare concept-space and raw-counter-space
+// clusterings.
+func Silhouette(points [][]float64, assign []int, k int) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	n := len(points)
+	var total float64
+	counted := 0
+	for i := 0; i < n; i++ {
+		sumIn, nIn := 0.0, 0
+		sumOut := make([]float64, k)
+		nOut := make([]int, k)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := math.Sqrt(sqDist(points[i], points[j]))
+			if assign[j] == assign[i] {
+				sumIn += d
+				nIn++
+			} else {
+				sumOut[assign[j]] += d
+				nOut[assign[j]]++
+			}
+		}
+		if nIn == 0 {
+			continue
+		}
+		a := sumIn / float64(nIn)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == assign[i] || nOut[c] == 0 {
+				continue
+			}
+			if m := sumOut[c] / float64(nOut[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den == 0 {
+			continue
+		}
+		total += (b - a) / den
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

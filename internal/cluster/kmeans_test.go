@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"stac/internal/stats"
+)
+
+// blobs generates three well-separated Gaussian clusters.
+func blobs(rng *stats.RNG, perCluster int) ([][]float64, []int) {
+	centres := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	var pts [][]float64
+	var labels []int
+	for c, cen := range centres {
+		for i := 0; i < perCluster; i++ {
+			pts = append(pts, []float64{
+				cen[0] + rng.NormFloat64()*0.5,
+				cen[1] + rng.NormFloat64()*0.5,
+			})
+			labels = append(labels, c)
+		}
+	}
+	return pts, labels
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := stats.NewRNG(1)
+	pts, labels := blobs(rng, 50)
+	res, err := KMeans(pts, 3, 50, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true cluster must map to exactly one k-means cluster.
+	mapping := map[int]int{}
+	for i, l := range labels {
+		got := res.Assign[i]
+		if prev, ok := mapping[l]; ok {
+			if prev != got {
+				t.Fatalf("true cluster %d split across k-means clusters %d and %d", l, prev, got)
+			}
+		} else {
+			mapping[l] = got
+		}
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("expected 3 distinct clusters, got %d", len(mapping))
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	rng := stats.NewRNG(5)
+	pts, _ := blobs(rng, 30)
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 2, 3, 6} {
+		res, err := KMeans(pts, k, 50, stats.NewRNG(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev*1.0001 {
+			t.Fatalf("inertia increased from %v to %v at k=%d", prev, res.Inertia, k)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, 10, stats.NewRNG(1)); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, 10, stats.NewRNG(1)); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, 10, stats.NewRNG(1)); err == nil {
+		t.Error("ragged points accepted")
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	pts := [][]float64{{0}, {1}}
+	res, err := KMeans(pts, 5, 10, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("k should clamp to n: got %d centroids", len(res.Centroids))
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := stats.NewRNG(7)
+	pts, _ := blobs(rng, 20)
+	a, _ := KMeans(pts, 3, 50, stats.NewRNG(11))
+	b, _ := KMeans(pts, 3, 50, stats.NewRNG(11))
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("k-means not deterministic for fixed RNG")
+		}
+	}
+}
+
+func TestSilhouetteSeparatedVsRandom(t *testing.T) {
+	rng := stats.NewRNG(13)
+	pts, labels := blobs(rng, 30)
+	good := Silhouette(pts, labels, 3)
+	// Random assignment should score much worse.
+	randAssign := make([]int, len(pts))
+	for i := range randAssign {
+		randAssign[i] = rng.Intn(3)
+	}
+	bad := Silhouette(pts, randAssign, 3)
+	if good < 0.7 {
+		t.Fatalf("separated blobs silhouette %v, want > 0.7", good)
+	}
+	if bad >= good {
+		t.Fatalf("random assignment silhouette %v >= true %v", bad, good)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if s := Silhouette([][]float64{{1}}, []int{0}, 1); s != 0 {
+		t.Fatalf("single point silhouette = %v, want 0", s)
+	}
+}

@@ -1,0 +1,146 @@
+package counters
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNumCounters(t *testing.T) {
+	if NumCounters != 29 {
+		t.Fatalf("NumCounters = %d, want 29 (paper samples 29 counters)", NumCounters)
+	}
+}
+
+func TestNamesUniqueAndPresent(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumCounters; i++ {
+		name := Counter(i).String()
+		if name == "" || name == "unknown" {
+			t.Errorf("counter %d has no name", i)
+		}
+		if seen[name] {
+			t.Errorf("duplicate counter name %q", name)
+		}
+		seen[name] = true
+	}
+	if Counter(-1).String() != "unknown" || Counter(NumCounters).String() != "unknown" {
+		t.Error("out-of-range counters should stringify as unknown")
+	}
+}
+
+func TestSampleAddScale(t *testing.T) {
+	var a, b Sample
+	a[L1DLoads] = 2
+	b[L1DLoads] = 3
+	b[IPC] = 1.5
+	a.Add(b)
+	if a[L1DLoads] != 5 || a[IPC] != 1.5 {
+		t.Fatalf("Add failed: %v %v", a[L1DLoads], a[IPC])
+	}
+	c := a.Scale(2)
+	if c[L1DLoads] != 10 {
+		t.Fatalf("Scale failed: %v", c[L1DLoads])
+	}
+	if a[L1DLoads] != 5 {
+		t.Fatal("Scale should not mutate the receiver (value semantics)")
+	}
+}
+
+func TestTraceAggregate(t *testing.T) {
+	var s1, s2 Sample
+	s1[LLCLoads] = 1
+	s2[LLCLoads] = 2
+	tr := Trace{s1, s2}
+	if got := tr.Aggregate()[LLCLoads]; got != 3 {
+		t.Fatalf("aggregate = %v, want 3", got)
+	}
+}
+
+func TestTracePad(t *testing.T) {
+	var s Sample
+	s[Cycles] = 7
+	tr := Trace{s}
+	padded := tr.Pad(3)
+	if len(padded) != 3 {
+		t.Fatalf("padded length %d, want 3", len(padded))
+	}
+	if padded[0][Cycles] != 7 || padded[1][Cycles] != 0 || padded[2][Cycles] != 0 {
+		t.Fatal("padding wrong")
+	}
+	truncated := Trace{s, s, s}.Pad(2)
+	if len(truncated) != 2 {
+		t.Fatalf("truncated length %d, want 2", len(truncated))
+	}
+}
+
+func TestShuffledOrderIsPermutation(t *testing.T) {
+	order := ShuffledOrder(42)
+	if len(order) != NumCounters {
+		t.Fatalf("order length %d", len(order))
+	}
+	seen := make([]bool, NumCounters)
+	for _, i := range order {
+		if i < 0 || i >= NumCounters || seen[i] {
+			t.Fatalf("bad permutation: %v", order)
+		}
+		seen[i] = true
+	}
+	// Deterministic for a fixed seed, different for different seeds.
+	again := ShuffledOrder(42)
+	other := ShuffledOrder(43)
+	sameAsAgain, sameAsOther := true, true
+	for i := range order {
+		if order[i] != again[i] {
+			sameAsAgain = false
+		}
+		if order[i] != other[i] {
+			sameAsOther = false
+		}
+	}
+	if !sameAsAgain {
+		t.Fatal("ShuffledOrder not deterministic per seed")
+	}
+	if sameAsOther {
+		t.Fatal("ShuffledOrder identical across seeds")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var s Sample
+	s[L1DLoads] = 1.5
+	s[Cycles] = 100
+	var buf bytes.Buffer
+	if err := (Trace{s, s}).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "l1d.loads,") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1.5,") {
+		t.Fatalf("row wrong: %q", lines[1])
+	}
+}
+
+func TestReorderRoundTrip(t *testing.T) {
+	var s Sample
+	for i := range s {
+		s[i] = float64(i)
+	}
+	order := ShuffledOrder(7)
+	shuffled := s.Reorder(order)
+	// Invert.
+	inv := make([]int, NumCounters)
+	for i, src := range order {
+		inv[src] = i
+	}
+	back := shuffled.Reorder(inv)
+	if back != s {
+		t.Fatal("reorder round trip failed")
+	}
+}

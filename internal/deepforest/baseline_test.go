@@ -1,0 +1,15 @@
+package deepforest
+
+import (
+	"stac/internal/forest"
+	"stac/internal/stats"
+)
+
+// trainShallowBaseline trains a plain random forest with a budget roughly
+// matching the test deep-forest configuration, for comparison tests.
+func trainShallowBaseline(x [][]float64, y []float64) (*forest.Forest, error) {
+	cfg := forest.RandomForest(60)
+	cfg.Tree.MaxDepth = 12
+	cfg.Tree.ThresholdSamples = 8
+	return forest.Train(x, y, cfg, stats.NewRNG(1001))
+}

@@ -1,0 +1,87 @@
+package deepforest
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"stac/internal/forest"
+)
+
+// grainDTO is the serialised form of a trained MGS grain.
+type grainDTO struct {
+	Win       WindowConfig
+	WR, WC    int
+	Positions [][2]int
+	Forest    []byte
+}
+
+// modelDTO is the serialised form of a deep-forest model.
+type modelDTO struct {
+	Version int
+	Cfg     Config
+	Grains  []grainDTO
+	Cascade [][][]byte
+}
+
+const modelVersion = 1
+
+// Save serialises the trained model with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	dto := modelDTO{Version: modelVersion, Cfg: m.cfg}
+	for _, g := range m.grains {
+		fb, err := g.forest.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("deepforest: encode grain forest: %w", err)
+		}
+		dto.Grains = append(dto.Grains, grainDTO{
+			Win: g.win, WR: g.wr, WC: g.wc, Positions: g.positions, Forest: fb,
+		})
+	}
+	for _, level := range m.cascade {
+		var lvl [][]byte
+		for _, f := range level {
+			fb, err := f.MarshalBinary()
+			if err != nil {
+				return fmt.Errorf("deepforest: encode cascade forest: %w", err)
+			}
+			lvl = append(lvl, fb)
+		}
+		dto.Cascade = append(dto.Cascade, lvl)
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// LoadModel deserialises a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var dto modelDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("deepforest: decode model: %w", err)
+	}
+	if dto.Version != modelVersion {
+		return nil, fmt.Errorf("deepforest: unsupported model version %d", dto.Version)
+	}
+	m := &Model{cfg: dto.Cfg}
+	for _, gd := range dto.Grains {
+		g := &grain{win: gd.Win, wr: gd.WR, wc: gd.WC, positions: gd.Positions, forest: &forest.Forest{}}
+		if err := g.forest.UnmarshalBinary(gd.Forest); err != nil {
+			return nil, fmt.Errorf("deepforest: decode grain forest: %w", err)
+		}
+		m.grains = append(m.grains, g)
+	}
+	for _, lvlBytes := range dto.Cascade {
+		var level []*forest.Forest
+		for _, fb := range lvlBytes {
+			f := &forest.Forest{}
+			if err := f.UnmarshalBinary(fb); err != nil {
+				return nil, fmt.Errorf("deepforest: decode cascade forest: %w", err)
+			}
+			level = append(level, f)
+		}
+		m.cascade = append(m.cascade, level)
+	}
+	if len(m.grains) == 0 || len(m.cascade) == 0 {
+		return nil, fmt.Errorf("deepforest: model has no grains or cascade levels")
+	}
+	return m, nil
+}

@@ -1,0 +1,44 @@
+package deepforest
+
+import (
+	"bytes"
+	"testing"
+
+	"stac/internal/stats"
+)
+
+func TestModelSerializationRoundTrip(t *testing.T) {
+	x, y, spec := synthMatrix(120, 3, 12, 10, 41)
+	m, err := Train(x, y, testConfig(spec), stats.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if restored.Predict(x[i]) != m.Predict(x[i]) {
+			t.Fatalf("prediction differs after round trip at row %d", i)
+		}
+		a, b := restored.Concepts(x[i]), m.Concepts(x[i])
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("concepts differ after round trip at row %d", i)
+			}
+		}
+	}
+	if restored.NumMGSFeatures() != m.NumMGSFeatures() {
+		t.Fatal("MGS feature count differs after round trip")
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig5", "fig6", "fig7a", "fig7b", "fig7c", "fig8", "fig8e", "importance",
+		"insight", "overhead", "pool", "replacement", "sampling", "sprint", "stage3",
+		"table1", "table2",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nosuch", Options{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// parsePct converts "12.3%" to 0.123.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q: %v", s, err)
+	}
+	return v / 100
+}
+
+func TestTable1Orderings(t *testing.T) {
+	rep, err := Run("table1", Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 8 {
+		t.Fatalf("table1 has %d rows, want 8", len(rep.Rows))
+	}
+	miss := map[string]float64{}
+	uniq := map[string]float64{}
+	for _, row := range rep.Rows {
+		miss[row[0]] = parsePct(t, row[1])
+		uniq[row[0]] = parsePct(t, row[2])
+	}
+	// Table 1 invariants: the high-reuse kernels miss rarely...
+	for _, k := range []string{"knn", "kmeans"} {
+		if miss[k] > 0.10 {
+			t.Errorf("%s misses %.1f%%, want < 10%% (high data reuse)", k, 100*miss[k])
+		}
+	}
+	// ...the streaming kernel misses the most...
+	for k, m := range miss {
+		if k != "spstream" && m > miss["spstream"]+0.02 {
+			t.Errorf("%s (%.1f%%) misses more than spstream (%.1f%%)", k, 100*m, 100*miss["spstream"])
+		}
+	}
+	// ...and redis misses far more than the compute kernels.
+	if miss["redis"] < 5*miss["kmeans"] {
+		t.Errorf("redis (%.1f%%) should miss much more than kmeans (%.1f%%)",
+			100*miss["redis"], 100*miss["kmeans"])
+	}
+	// Reuse proxy: knn/kmeans reuse more (fewer unique lines) than
+	// redis/spstream.
+	for _, hi := range []string{"knn", "kmeans"} {
+		for _, lo := range []string{"redis", "spstream"} {
+			if uniq[hi] >= uniq[lo] {
+				t.Errorf("%s unique frac %.2f%% >= %s %.2f%% (reuse ordering)",
+					hi, 100*uniq[hi], lo, 100*uniq[lo])
+			}
+		}
+	}
+}
+
+func TestTable2Static(t *testing.T) {
+	rep, err := Run("table2", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 4 {
+		t.Fatalf("table2 has %d rows", len(rep.Rows))
+	}
+}
+
+// TestFig7cSpatialOrderingMatters is the cheapest experiment exercising a
+// full train/evaluate cycle; the heavier generators run from the bench
+// harness and cmd/stac.
+func TestFig7cShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment generators are slow")
+	}
+	rep, err := Run("fig7c", Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("fig7c has %d rows, want 5", len(rep.Rows))
+	}
+	vals := map[string]float64{}
+	for _, row := range rep.Rows {
+		vals[row[0]] = parsePct(t, row[1])
+	}
+	base := vals["baseline (spatial order, 4 windows)"]
+	if base <= 0 || base > 0.5 {
+		t.Fatalf("baseline error %.1f%% implausible", 100*base)
+	}
+	// Few estimators must not beat the full model decisively.
+	if vals["few estimators (2 trees/forest)"] < base*0.7 {
+		t.Errorf("few-estimator model (%.1f%%) decisively beats baseline (%.1f%%)",
+			100*vals["few estimators (2 trees/forest)"], 100*base)
+	}
+}
+
+func TestReorderDatasetInvertible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("requires profile collection")
+	}
+	ds, err := collectPair(pairSpec{"knn", "redis"}, 4, 40, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make([]int, 29)
+	for i := range order {
+		order[i] = 28 - i // reverse
+	}
+	rev := reorderDataset(ds, order)
+	back := reorderDataset(rev, order)
+	for i := range ds.Rows {
+		for j := range ds.Rows[i].Features {
+			if ds.Rows[i].Features[j] != back.Rows[i].Features[j] {
+				t.Fatalf("double reversal changed features at row %d col %d", i, j)
+			}
+		}
+	}
+}

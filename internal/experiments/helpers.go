@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"stac/internal/core"
+	"stac/internal/deepforest"
+	"stac/internal/profile"
+	"stac/internal/stats"
+	"stac/internal/testbed"
+	"stac/internal/workload"
+)
+
+// pairSpec names a collocated pair by kernel ids.
+type pairSpec struct{ a, b string }
+
+func (p pairSpec) String() string { return p.a + "+" + p.b }
+
+func (p pairSpec) kernels() (workload.Kernel, workload.Kernel, error) {
+	ka, err := workload.ByName(p.a)
+	if err != nil {
+		return workload.Kernel{}, workload.Kernel{}, err
+	}
+	kb, err := workload.ByName(p.b)
+	if err != nil {
+		return workload.Kernel{}, workload.Kernel{}, err
+	}
+	return ka, kb, nil
+}
+
+// collectPair gathers a profiling dataset for one pair with nPoints
+// stratified-sampled runtime conditions.
+func collectPair(p pairSpec, nPoints, queries int, samplePeriod float64, seed uint64) (profile.Dataset, error) {
+	ka, kb, err := p.kernels()
+	if err != nil {
+		return profile.Dataset{}, err
+	}
+	opts := profile.CollectOptions{
+		KernelA:           ka,
+		KernelB:           kb,
+		QueriesPerService: queries,
+		SamplePeriod:      samplePeriod,
+		Seed:              seed,
+	}
+	rng := stats.NewRNG(seed)
+	nSeeds := nPoints / 3
+	if nSeeds < 4 {
+		nSeeds = 4
+	}
+	pts := profile.StratifiedPoints(nPoints, nSeeds, 4, func(pt profile.Point) float64 {
+		return profile.EvalEA(opts, pt)
+	}, rng)
+	return profile.Collect(opts, pts)
+}
+
+// collectPairHighLoad profiles a pair with half the points drawn from the
+// full condition space (stratified) and half concentrated at high loads —
+// the regime where policy search operates.
+func collectPairHighLoad(p pairSpec, nPoints, queries int, seed uint64) (profile.Dataset, error) {
+	ka, kb, err := p.kernels()
+	if err != nil {
+		return profile.Dataset{}, err
+	}
+	opts := profile.CollectOptions{
+		KernelA:           ka,
+		KernelB:           kb,
+		QueriesPerService: queries,
+		Seed:              seed,
+	}
+	rng := stats.NewRNG(seed)
+	broad := profile.StratifiedPoints(nPoints/2, nPoints/6+2, 4, func(pt profile.Point) float64 {
+		return profile.EvalEA(opts, pt)
+	}, rng)
+	focused := profile.UniformPoints(nPoints-len(broad), rng)
+	for i := range focused {
+		focused[i].LoadA = stats.Uniform{Lo: 0.75, Hi: 0.95}.Sample(rng)
+		focused[i].LoadB = stats.Uniform{Lo: 0.75, Hi: 0.95}.Sample(rng)
+	}
+	return profile.Collect(opts, append(broad, focused...))
+}
+
+// datasetScale returns the per-pair profiling sizes for the option level.
+func datasetScale(opts Options) (nPoints, queries int) {
+	if opts.Thorough {
+		return 120, 140
+	}
+	return 54, 100
+}
+
+// trainPipeline trains the full deep-forest pipeline on a training split.
+func trainPipeline(train profile.Dataset, opts Options, seed uint64) (*core.Predictor, *deepforest.Model, time.Duration, error) {
+	cfg := dfConfig(train.Schema, opts)
+	start := time.Now()
+	model, err := core.TrainDeepForestEA(train, cfg, stats.NewRNG(seed))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	elapsed := time.Since(start)
+	p, err := core.NewPredictor(model, train, 2)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return p, model, elapsed, nil
+}
+
+// dfConfig returns the deep-forest configuration for the option level.
+func dfConfig(schema profile.Schema, opts Options) deepforest.Config {
+	cfg := deepforest.FastConfig(core.MatrixSpec(schema))
+	if opts.Thorough {
+		cfg.CascadeLevels = 3
+		cfg.CascadeTrees = 48
+		for i := range cfg.Windows {
+			cfg.Windows[i].Trees = 24
+		}
+	}
+	return cfg
+}
+
+// medianAndP95 summarises an error sample.
+func medianAndP95(errs []float64) (float64, float64) {
+	return stats.Median(errs), stats.Percentile(errs, 95)
+}
+
+// chainCondition builds a multi-service condition for the Figure 7b
+// cross-processor study: n services drawn round-robin from the kernel
+// list, each with its own load and timeout.
+func chainCondition(proc testbed.Processor, kernels []workload.Kernel, n, privateWays, sharedWays, queries int, rng *stats.RNG, seed uint64) testbed.Condition {
+	cond := testbed.Condition{
+		Processor:   proc,
+		PrivateWays: privateWays,
+		SharedWays:  sharedWays,
+		Seed:        seed,
+	}
+	for i := 0; i < n; i++ {
+		cond.Services = append(cond.Services, testbed.ServiceSpec{
+			Kernel:  kernels[i%len(kernels)],
+			Load:    stats.Uniform{Lo: 0.4, Hi: 0.95}.Sample(rng),
+			Timeout: stats.Uniform{Lo: 0, Hi: 4}.Sample(rng),
+		})
+	}
+	cond = cond.Defaults()
+	cond.QueriesPerService = queries
+	return cond
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}

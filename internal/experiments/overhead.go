@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"stac/internal/core"
+	"stac/internal/profile"
+	"stac/internal/stats"
+)
+
+func init() {
+	register("overhead", Overhead)
+	register("sampling", Sampling)
+}
+
+// Overhead reproduces the §5.1 profiling-time study: model error as a
+// function of profiling budget. The paper's 30-minute budget yields
+// ~100 profiles; 15 minutes raises error to 14 %, 2.5 hours lowers it to
+// 8.6 %. Here the budget is expressed as a fraction of the collected
+// dataset (profiles accrue linearly with profiling time).
+func Overhead(opts Options) (*Report, error) {
+	opts = opts.defaults()
+	nPoints, queries := datasetScale(opts)
+	// Collect a full-size dataset once, then emulate smaller budgets by
+	// truncation (profiles arrive in collection order).
+	full, err := collectPair(pairSpec{"redis", "bfs"}, nPoints*2, queries, 0, opts.Seed+9000)
+	if err != nil {
+		return nil, err
+	}
+	train, test := full.SplitByCondition(0.5, opts.Seed+9001)
+	test = test.AggregateByCondition()
+
+	budgets := []struct {
+		name string
+		frac float64
+	}{
+		{"15 min (0.25x profiles)", 0.25},
+		{"30 min (0.5x profiles)", 0.5},
+		{"2.5 h (full profiles)", 1.0},
+	}
+	rep := &Report{
+		ID:      "overhead",
+		Title:   "Prediction error vs profiling time budget",
+		Columns: []string{"profiling budget", "training rows", "median APE"},
+	}
+	for _, b := range budgets {
+		sub := train.Truncate(int(b.frac * float64(train.Len())))
+		if sub.Len() < 4 {
+			return nil, fmt.Errorf("overhead: budget %q leaves too few rows", b.name)
+		}
+		p, _, _, err := trainPipeline(sub, opts, opts.Seed+9002)
+		if err != nil {
+			return nil, err
+		}
+		errs, err := core.EvaluatePredictor(p, test, 2)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{
+			b.name, strconv.Itoa(sub.Len()), pct(stats.Median(errs)),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: 15 min -> 14% error, 30 min -> 11%, 2.5 h -> 8.6%; queueing structure bounds error at low budgets")
+	return rep, nil
+}
+
+// Sampling compares stratified condition sampling (§4) against uniform
+// random sampling at equal budget — the design choice that cut profiling
+// time by 67 % in the paper.
+func Sampling(opts Options) (*Report, error) {
+	opts = opts.defaults()
+	nPoints, queries := datasetScale(opts)
+	pair := pairSpec{"redis", "bfs"}
+	seed := opts.Seed + 9500
+
+	ka, kb, err := pair.kernels()
+	if err != nil {
+		return nil, err
+	}
+	copts := profile.CollectOptions{
+		KernelA: ka, KernelB: kb,
+		QueriesPerService: queries,
+		Seed:              seed,
+	}
+
+	// A common, larger test pool from uniform sampling with a different
+	// seed, so neither strategy is evaluated on its own draw.
+	testPts := profile.UniformPoints(nPoints, stats.NewRNG(seed+1))
+	testDS, err := profile.Collect(profile.CollectOptions{
+		KernelA: ka, KernelB: kb, QueriesPerService: queries, Seed: seed + 2,
+	}, testPts)
+	if err != nil {
+		return nil, err
+	}
+	testDS = testDS.AggregateByCondition()
+
+	budget := nPoints / 2
+	uniformPts := profile.UniformPoints(budget, stats.NewRNG(seed+3))
+	stratPts := profile.StratifiedPoints(budget, budget/3, 4, func(pt profile.Point) float64 {
+		return profile.EvalEA(copts, pt)
+	}, stats.NewRNG(seed+4))
+
+	rep := &Report{
+		ID:      "sampling",
+		Title:   "Stratified vs uniform condition sampling (equal budget)",
+		Columns: []string{"sampler", "points", "median APE"},
+	}
+	for _, s := range []struct {
+		name string
+		pts  []profile.Point
+	}{{"uniform", uniformPts}, {"stratified", stratPts}} {
+		ds, err := profile.Collect(copts, s.pts)
+		if err != nil {
+			return nil, err
+		}
+		p, _, _, err := trainPipeline(ds, opts, seed+5)
+		if err != nil {
+			return nil, err
+		}
+		errs, err := core.EvaluatePredictor(p, testDS, 2)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{s.name, strconv.Itoa(len(s.pts)), pct(stats.Median(errs))})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: stratified sampling reduced profiling time by 67% at equal accuracy",
+		"at this scaled budget the effect does not reproduce: neighbour-based input",
+		"reconstruction needs raw coverage of the condition space more than regime density")
+	return rep, nil
+}

@@ -1,0 +1,59 @@
+package forest
+
+import (
+	"testing"
+
+	"stac/internal/stats"
+)
+
+func benchData(n, d int) ([][]float64, []float64) {
+	r := stats.NewRNG(1)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		x[i] = row
+		y[i] = row[0]*2 + row[1]*row[2]
+	}
+	return x, y
+}
+
+func BenchmarkTrainRandomForest(b *testing.B) {
+	x, y := benchData(500, 50)
+	cfg := RandomForest(20)
+	cfg.Tree.MaxDepth = 12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(x, y, cfg, stats.NewRNG(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainSampledSplitter(b *testing.B) {
+	x, y := benchData(500, 50)
+	cfg := RandomForest(20)
+	cfg.Tree.MaxDepth = 12
+	cfg.Tree.ThresholdSamples = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(x, y, cfg, stats.NewRNG(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	x, y := benchData(500, 50)
+	f, err := Train(x, y, RandomForest(50), stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Predict(x[i%len(x)])
+	}
+}

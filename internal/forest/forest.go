@@ -1,0 +1,155 @@
+package forest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"stac/internal/stats"
+)
+
+// Config controls forest training.
+type Config struct {
+	// Trees is the number of estimators (the paper's deep forest uses
+	// 100 per cascade forest, 50 per MGS forest).
+	Trees int
+	// Tree configures individual tree growth.
+	Tree TreeConfig
+	// Bootstrap resamples the training set per tree (bagging). Defaults
+	// to true for best-split forests; completely-random forests rely on
+	// split randomness and train on the full set.
+	Bootstrap bool
+	// Workers bounds training parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// RandomForest returns the standard configuration: nTrees best-split trees
+// with √f feature sampling and bagging.
+func RandomForest(nTrees int) Config {
+	return Config{Trees: nTrees, Bootstrap: true}
+}
+
+// CompletelyRandomForest returns nTrees completely-random trees grown to
+// purity on the full training set.
+func CompletelyRandomForest(nTrees int) Config {
+	return Config{Trees: nTrees, Tree: TreeConfig{CompletelyRandom: true}}
+}
+
+// Forest is a trained ensemble of regression trees.
+type Forest struct {
+	trees []*Tree
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Train fits a forest on the feature matrix x and targets y.
+// Trees are trained in parallel; each tree owns an RNG split
+// deterministically from rng, so results are reproducible regardless of
+// scheduling.
+func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Forest, error) {
+	if cfg.Trees <= 0 {
+		return nil, fmt.Errorf("forest: Trees must be positive, got %d", cfg.Trees)
+	}
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("forest: bad training shapes: %d rows, %d targets", len(x), len(y))
+	}
+	n := len(x)
+
+	// Derive per-tree RNGs up front for determinism.
+	rngs := make([]*stats.RNG, cfg.Trees)
+	for i := range rngs {
+		rngs[i] = rng.Split()
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trees {
+		workers = cfg.Trees
+	}
+
+	trees := make([]*Tree, cfg.Trees)
+	errs := make([]error, cfg.Trees)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range work {
+				r := rngs[t]
+				idx := make([]int, n)
+				if cfg.Bootstrap {
+					for i := range idx {
+						idx[i] = r.Intn(n)
+					}
+				} else {
+					for i := range idx {
+						idx[i] = i
+					}
+				}
+				trees[t], errs[t] = BuildTree(x, y, idx, cfg.Tree, r)
+			}
+		}()
+	}
+	for t := 0; t < cfg.Trees; t++ {
+		work <- t
+	}
+	close(work)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Forest{trees: trees}, nil
+}
+
+// Predict returns the ensemble mean for one feature vector.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range f.trees {
+		sum += t.Predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// PredictBatch predicts every row of x.
+func (f *Forest) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = f.Predict(row)
+	}
+	return out
+}
+
+// FeatureImportance returns variance-weighted per-feature importances
+// across the ensemble, normalised to sum to 1: each split contributes
+// n·variance of the node it divided, so splits that partition large,
+// impure nodes (the real signal) dominate, and deep splits near pure
+// leaves contribute almost nothing. numFeatures must cover the training
+// dimensionality.
+func (f *Forest) FeatureImportance(numFeatures int) []float64 {
+	weights := make([]float64, numFeatures)
+	total := 0.0
+	for _, t := range f.trees {
+		for _, n := range t.nodes {
+			if n.feature >= 0 && n.feature < numFeatures {
+				weights[n.feature] += n.gain
+				total += n.gain
+			}
+		}
+	}
+	if total > 0 {
+		for i := range weights {
+			weights[i] /= total
+		}
+	}
+	return weights
+}

@@ -1,0 +1,63 @@
+package forest
+
+import (
+	"testing"
+
+	"stac/internal/stats"
+)
+
+func TestTreeSerializationRoundTrip(t *testing.T) {
+	x, y := synth(150, 31)
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	tree, err := BuildTree(x, y, idx, TreeConfig{MaxFeatures: 6}, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tree.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Tree
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if restored.Predict(x[i]) != tree.Predict(x[i]) {
+			t.Fatalf("prediction differs after round trip at row %d", i)
+		}
+	}
+}
+
+func TestForestSerializationRoundTrip(t *testing.T) {
+	x, y := synth(200, 33)
+	f, err := Train(x, y, RandomForest(12), stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Forest
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumTrees() != f.NumTrees() {
+		t.Fatalf("tree count %d != %d", restored.NumTrees(), f.NumTrees())
+	}
+	for i := 0; i < 50; i++ {
+		if restored.Predict(x[i]) != f.Predict(x[i]) {
+			t.Fatalf("prediction differs after round trip at row %d", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruptTree(t *testing.T) {
+	var tr Tree
+	if err := tr.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

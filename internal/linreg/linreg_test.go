@@ -1,0 +1,115 @@
+package linreg
+
+import (
+	"math"
+	"testing"
+
+	"stac/internal/stats"
+)
+
+func TestFitRecoversLinearModel(t *testing.T) {
+	r := stats.NewRNG(1)
+	n := 500
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	trueW := []float64{2, -3, 0.5}
+	for i := range x {
+		row := []float64{r.Float64(), r.Float64(), r.Float64()}
+		x[i] = row
+		y[i] = 1.5
+		for j, w := range trueW {
+			y[i] += w * row[j]
+		}
+	}
+	m, err := Fit(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range trueW {
+		if math.Abs(m.Weights[j]-w) > 1e-8 {
+			t.Errorf("weight %d = %v, want %v", j, m.Weights[j], w)
+		}
+	}
+	if math.Abs(m.Intercept-1.5) > 1e-8 {
+		t.Errorf("intercept = %v, want 1.5", m.Intercept)
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	r := stats.NewRNG(2)
+	n := 2000
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{r.Float64() * 10}
+		y[i] = 3*x[i][0] + 2 + r.NormFloat64()*0.5
+	}
+	m, err := Fit(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-3) > 0.05 || math.Abs(m.Intercept-2) > 0.3 {
+		t.Fatalf("noisy fit w=%v b=%v, want ~3, ~2", m.Weights[0], m.Intercept)
+	}
+}
+
+func TestRidgeHandlesCollinearFeatures(t *testing.T) {
+	r := stats.NewRNG(3)
+	n := 100
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		v := r.Float64()
+		x[i] = []float64{v, v, v} // perfectly collinear
+		y[i] = 6 * v
+	}
+	m, err := Fit(x, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must still be right even if individual weights are not
+	// identified.
+	for i := 0; i < 10; i++ {
+		v := r.Float64()
+		got := m.Predict([]float64{v, v, v})
+		if math.Abs(got-6*v) > 1e-3 {
+			t.Fatalf("collinear prediction %v, want %v", got, 6*v)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Error("mismatched shapes accepted")
+	}
+}
+
+func TestUnderdeterminedNeedsRidge(t *testing.T) {
+	// More features than rows: plain OLS is singular (up to the numerical
+	// floor); ridge should produce a usable model.
+	x := [][]float64{{1, 2, 3, 4, 5}, {2, 3, 4, 5, 6}}
+	y := []float64{1, 2}
+	m, err := Fit(x, y, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(m.Predict(x[i])-y[i]) > 0.5 {
+			t.Fatalf("ridge fit far off: %v vs %v", m.Predict(x[i]), y[i])
+		}
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	m := &Model{Weights: []float64{2}, Intercept: 1}
+	got := m.PredictBatch([][]float64{{0}, {1}, {2}})
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package neural
+
+// grads mirrors the network's trainable parameters.
+type grads struct {
+	convW [][]float64
+	convB []float64
+	w1    [][]float64
+	b1    []float64
+	w2    []float64
+	b2    float64
+}
+
+func (n *Network) zeroGrads() *grads {
+	g := &grads{
+		convW: make([][]float64, len(n.convW)),
+		convB: make([]float64, len(n.convB)),
+		w1:    make([][]float64, len(n.w1)),
+		b1:    make([]float64, len(n.b1)),
+		w2:    make([]float64, len(n.w2)),
+	}
+	for f := range g.convW {
+		g.convW[f] = make([]float64, len(n.convW[f]))
+	}
+	for h := range g.w1 {
+		g.w1[h] = make([]float64, len(n.w1[h]))
+	}
+	return g
+}
+
+// accumulate adds the gradient of the squared error on (x, y) into g.
+func (n *Network) accumulate(g *grads, x []float64, y float64) {
+	cfg := n.cfg
+	m := cfg.Matrix
+	st := n.forward(x)
+
+	// dL/dout for L = (out - y)².
+	dOut := 2 * (st.out - y)
+
+	// Output layer.
+	g.b2 += dOut
+	dHidden := make([]float64, cfg.Hidden)
+	for h := 0; h < cfg.Hidden; h++ {
+		g.w2[h] += dOut * st.hidden[h]
+		if st.hiddenIn[h] > 0 {
+			dHidden[h] = dOut * n.w2[h]
+		}
+	}
+
+	// Hidden layer.
+	dFlat := make([]float64, n.flatDim)
+	for h := 0; h < cfg.Hidden; h++ {
+		dh := dHidden[h]
+		if dh == 0 {
+			continue
+		}
+		g.b1[h] += dh
+		w := n.w1[h]
+		gw := g.w1[h]
+		for i, v := range st.flat {
+			gw[i] += dh * v
+			dFlat[i] += dh * w[i]
+		}
+	}
+
+	// Pool/ReLU backprop into conv planes, then conv weights.
+	k := cfg.Kernel
+	for f := 0; f < cfg.Filters; f++ {
+		planeBase := f * n.poolR * n.poolC
+		for p := 0; p < n.poolR*n.poolC; p++ {
+			d := dFlat[planeBase+p]
+			if d == 0 {
+				continue
+			}
+			argIdx := st.poolArg[planeBase+p]
+			if argIdx < 0 || st.conv[f][argIdx] <= 0 { // ReLU gate
+				continue
+			}
+			ci := argIdx / n.convC
+			cj := argIdx % n.convC
+			g.convB[f] += d
+			gw := g.convW[f]
+			for a := 0; a < k; a++ {
+				rowBase := m.Offset + (ci+a)*m.Cols + cj
+				wBase := a * k
+				for b := 0; b < k; b++ {
+					gw[wBase+b] += d * st.in[rowBase+b]
+				}
+			}
+		}
+	}
+}
+
+// step applies one SGD-with-momentum update: vel = mom·vel − lr·g·scale;
+// params += vel.
+func (n *Network) step(g, vel *grads, scale float64) {
+	lr, mom := n.cfg.LR, n.cfg.Momentum
+	upd := func(p, gp, vp []float64) {
+		for i := range p {
+			vp[i] = mom*vp[i] - lr*gp[i]*scale
+			p[i] += vp[i]
+		}
+	}
+	for f := range n.convW {
+		upd(n.convW[f], g.convW[f], vel.convW[f])
+	}
+	upd(n.convB, g.convB, vel.convB)
+	for h := range n.w1 {
+		upd(n.w1[h], g.w1[h], vel.w1[h])
+	}
+	upd(n.b1, g.b1, vel.b1)
+	upd(n.w2, g.w2, vel.w2)
+	vel.b2 = mom*vel.b2 - lr*g.b2*scale
+	n.b2 += vel.b2
+}

@@ -1,0 +1,333 @@
+// Package neural implements a small convolutional neural network trained
+// with SGD — the paper's deep-learning baseline (Figures 5 and 6). The
+// architecture mirrors what the paper tuned with PyTorch/TUNE: a
+// convolution over the counters×queries profile matrix, max pooling, and
+// dense layers that also consume the static condition features. It exists
+// to reproduce the comparison (CNNs can match deep forests at their best
+// but vary widely across seeds), not to be a general DL framework.
+package neural
+
+import (
+	"fmt"
+	"math"
+
+	"stac/internal/stats"
+)
+
+// MatrixSpec locates the 2-D profile matrix inside flat feature vectors
+// (same convention as package deepforest).
+type MatrixSpec struct {
+	Offset int
+	Rows   int
+	Cols   int
+}
+
+// Config controls the network shape and training.
+type Config struct {
+	Matrix MatrixSpec
+	// Filters is the convolution filter count.
+	Filters int
+	// Kernel is the (square) convolution kernel size.
+	Kernel int
+	// Pool is the max-pooling window/stride.
+	Pool int
+	// Hidden is the dense hidden-layer width.
+	Hidden int
+	// Epochs, Batch, LR and Momentum control SGD.
+	Epochs   int
+	Batch    int
+	LR       float64
+	Momentum float64
+}
+
+// DefaultConfig returns the tuned baseline configuration.
+func DefaultConfig(m MatrixSpec) Config {
+	return Config{
+		Matrix:   m,
+		Filters:  6,
+		Kernel:   3,
+		Pool:     2,
+		Hidden:   24,
+		Epochs:   60,
+		Batch:    16,
+		LR:       0.01,
+		Momentum: 0.9,
+	}
+}
+
+func (c Config) validate(numFeatures int) error {
+	m := c.Matrix
+	if m.Rows <= 0 || m.Cols <= 0 || m.Offset < 0 || m.Offset+m.Rows*m.Cols > numFeatures {
+		return fmt.Errorf("neural: bad matrix spec %+v for %d features", m, numFeatures)
+	}
+	if c.Kernel <= 0 || c.Kernel > m.Rows || c.Kernel > m.Cols {
+		return fmt.Errorf("neural: kernel %d does not fit matrix %dx%d", c.Kernel, m.Rows, m.Cols)
+	}
+	if c.Filters <= 0 || c.Hidden <= 0 || c.Epochs <= 0 || c.Batch <= 0 {
+		return fmt.Errorf("neural: non-positive size in config")
+	}
+	if c.Pool <= 0 {
+		return fmt.Errorf("neural: non-positive pool")
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("neural: non-positive learning rate")
+	}
+	return nil
+}
+
+// Network is a trained CNN.
+type Network struct {
+	cfg Config
+
+	// Feature normalisation (fitted on training data).
+	mean, std []float64
+	// Target standardisation: training happens on (y-yMean)/yStd and
+	// predictions are mapped back. Response times are ~1e-4 s; without
+	// this the loss surface is so flat SGD barely moves.
+	yMean, yStd float64
+
+	// Convolution parameters: convW[f][a*k+b], convB[f].
+	convW [][]float64
+	convB []float64
+
+	// Dense layers.
+	w1 [][]float64 // [hidden][flatDim]
+	b1 []float64
+	w2 []float64 // [hidden]
+	b2 float64
+
+	// Geometry.
+	convR, convC int // conv output dims
+	poolR, poolC int // pooled dims
+	staticIdx    []int
+	flatDim      int
+}
+
+// Train fits the network with SGD + momentum on mean-squared error.
+func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Network, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("neural: bad training shapes: %d rows, %d targets", len(x), len(y))
+	}
+	if err := cfg.validate(len(x[0])); err != nil {
+		return nil, err
+	}
+	n := newNetwork(cfg, len(x[0]), rng)
+	n.fitNormalisation(x)
+
+	// Standardise targets.
+	var yw stats.Welford
+	for _, v := range y {
+		yw.Add(v)
+	}
+	n.yMean = yw.Mean()
+	n.yStd = yw.StdDev()
+	if n.yStd < 1e-12 {
+		n.yStd = 1
+	}
+	yz := make([]float64, len(y))
+	for i, v := range y {
+		yz[i] = (v - n.yMean) / n.yStd
+	}
+
+	vel := n.zeroGrads()
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			g := n.zeroGrads()
+			for _, i := range idx[start:end] {
+				n.accumulate(g, x[i], yz[i])
+			}
+			scale := 1 / float64(end-start)
+			n.step(g, vel, scale)
+		}
+	}
+	return n, nil
+}
+
+func newNetwork(cfg Config, numFeatures int, rng *stats.RNG) *Network {
+	m := cfg.Matrix
+	n := &Network{cfg: cfg}
+	n.convR = m.Rows - cfg.Kernel + 1
+	n.convC = m.Cols - cfg.Kernel + 1
+	n.poolR = (n.convR + cfg.Pool - 1) / cfg.Pool
+	n.poolC = (n.convC + cfg.Pool - 1) / cfg.Pool
+	for i := 0; i < numFeatures; i++ {
+		if i < m.Offset || i >= m.Offset+m.Rows*m.Cols {
+			n.staticIdx = append(n.staticIdx, i)
+		}
+	}
+	n.flatDim = cfg.Filters*n.poolR*n.poolC + len(n.staticIdx)
+
+	k2 := cfg.Kernel * cfg.Kernel
+	he := func(fanIn int) float64 { return math.Sqrt(2 / float64(fanIn)) }
+	n.convW = make([][]float64, cfg.Filters)
+	n.convB = make([]float64, cfg.Filters)
+	for f := range n.convW {
+		n.convW[f] = make([]float64, k2)
+		for i := range n.convW[f] {
+			n.convW[f][i] = rng.NormFloat64() * he(k2)
+		}
+	}
+	n.w1 = make([][]float64, cfg.Hidden)
+	n.b1 = make([]float64, cfg.Hidden)
+	for h := range n.w1 {
+		n.w1[h] = make([]float64, n.flatDim)
+		for i := range n.w1[h] {
+			n.w1[h][i] = rng.NormFloat64() * he(n.flatDim)
+		}
+	}
+	n.w2 = make([]float64, cfg.Hidden)
+	for h := range n.w2 {
+		n.w2[h] = rng.NormFloat64() * he(cfg.Hidden)
+	}
+	return n
+}
+
+// fitNormalisation computes per-feature standardisation from training data.
+func (n *Network) fitNormalisation(x [][]float64) {
+	d := len(x[0])
+	n.mean = make([]float64, d)
+	n.std = make([]float64, d)
+	for _, row := range x {
+		for j, v := range row {
+			n.mean[j] += v
+		}
+	}
+	for j := range n.mean {
+		n.mean[j] /= float64(len(x))
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - n.mean[j]
+			n.std[j] += d * d
+		}
+	}
+	for j := range n.std {
+		n.std[j] = math.Sqrt(n.std[j] / float64(len(x)))
+		if n.std[j] < 1e-9 {
+			n.std[j] = 1
+		}
+	}
+}
+
+func (n *Network) normalise(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - n.mean[j]) / n.std[j]
+	}
+	return out
+}
+
+// forwardState caches activations for backprop.
+type forwardState struct {
+	in       []float64   // normalised input
+	conv     [][]float64 // [filter][convR*convC] pre-ReLU
+	pooled   []float64   // flat conv part post pool (post ReLU)
+	poolArg  []int       // argmax index into conv plane per pooled cell
+	flat     []float64   // pooled ++ static
+	hidden   []float64   // post-ReLU hidden
+	hiddenIn []float64   // pre-ReLU hidden
+	out      float64
+}
+
+func (n *Network) forward(raw []float64) *forwardState {
+	cfg := n.cfg
+	m := cfg.Matrix
+	st := &forwardState{in: n.normalise(raw)}
+	k := cfg.Kernel
+
+	st.conv = make([][]float64, cfg.Filters)
+	nPooled := cfg.Filters * n.poolR * n.poolC
+	st.pooled = make([]float64, nPooled)
+	st.poolArg = make([]int, nPooled)
+	for f := 0; f < cfg.Filters; f++ {
+		plane := make([]float64, n.convR*n.convC)
+		w := n.convW[f]
+		for i := 0; i < n.convR; i++ {
+			for j := 0; j < n.convC; j++ {
+				s := n.convB[f]
+				for a := 0; a < k; a++ {
+					rowBase := m.Offset + (i+a)*m.Cols + j
+					wBase := a * k
+					for b := 0; b < k; b++ {
+						s += w[wBase+b] * st.in[rowBase+b]
+					}
+				}
+				plane[i*n.convC+j] = s
+			}
+		}
+		st.conv[f] = plane
+		// ReLU + max pool.
+		for pi := 0; pi < n.poolR; pi++ {
+			for pj := 0; pj < n.poolC; pj++ {
+				best, bestIdx := math.Inf(-1), -1
+				for a := 0; a < cfg.Pool; a++ {
+					for b := 0; b < cfg.Pool; b++ {
+						ci, cj := pi*cfg.Pool+a, pj*cfg.Pool+b
+						if ci >= n.convR || cj >= n.convC {
+							continue
+						}
+						v := plane[ci*n.convC+cj]
+						if v > best {
+							best, bestIdx = v, ci*n.convC+cj
+						}
+					}
+				}
+				pIdx := f*n.poolR*n.poolC + pi*n.poolC + pj
+				if best < 0 { // ReLU
+					best = 0
+				}
+				st.pooled[pIdx] = best
+				st.poolArg[pIdx] = bestIdx
+			}
+		}
+	}
+
+	st.flat = make([]float64, n.flatDim)
+	copy(st.flat, st.pooled)
+	for i, si := range n.staticIdx {
+		st.flat[nPooled+i] = st.in[si]
+	}
+
+	st.hiddenIn = make([]float64, cfg.Hidden)
+	st.hidden = make([]float64, cfg.Hidden)
+	for h := 0; h < cfg.Hidden; h++ {
+		s := n.b1[h]
+		w := n.w1[h]
+		for i, v := range st.flat {
+			s += w[i] * v
+		}
+		st.hiddenIn[h] = s
+		if s > 0 {
+			st.hidden[h] = s
+		}
+	}
+	st.out = n.b2
+	for h, v := range st.hidden {
+		st.out += n.w2[h] * v
+	}
+	return st
+}
+
+// Predict evaluates the network on one raw feature vector, mapping the
+// standardised output back to target units.
+func (n *Network) Predict(x []float64) float64 {
+	return n.forward(x).out*n.yStd + n.yMean
+}
+
+// PredictBatch evaluates every row.
+func (n *Network) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = n.Predict(row)
+	}
+	return out
+}

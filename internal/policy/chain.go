@@ -1,0 +1,109 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"stac/internal/core"
+	"stac/internal/profile"
+)
+
+// ChainSearch extends the model-driven timeout search beyond pairs: the
+// paper's §2 conjectures show a chain layout (private spans separated by
+// shared spans) is the most sharing contiguous allocation permits, and
+// Figure 7(b) collocates up to eight services that way. The search runs
+// coordinate descent over the per-service timeout grid, minimising the
+// worst normalised predicted mean response — full grid enumeration is
+// 5^N and unnecessary because the response surface is smooth.
+//
+// Each service's scenario summarises its chain neighbourhood: partner
+// load is the mean load of the other services and partner timeout the
+// minimum (most aggressive) of their current settings, matching how
+// contention pressure composes in the testbed.
+func ChainSearch(p *core.Predictor, scenarios []core.Scenario, opts SearchOptions) ([]float64, error) {
+	opts = opts.defaults()
+	n := len(scenarios)
+	if n < 2 {
+		return nil, fmt.Errorf("policy: chain search needs at least 2 services, got %d", n)
+	}
+	grid := opts.Grid
+
+	// Start every service at the grid's middle setting.
+	timeouts := make([]float64, n)
+	for i := range timeouts {
+		timeouts[i] = grid[len(grid)/2]
+	}
+
+	predictAll := func(ts []float64) (float64, error) {
+		worst := 0.0
+		for i, s := range scenarios {
+			s.Timeout = ts[i]
+			s.PartnerLoad = meanLoadOfOthers(scenarios, i)
+			s.PartnerTimeout = minTimeoutOfOthers(ts, i)
+			pred, err := p.PredictResponse(s)
+			if err != nil {
+				return 0, err
+			}
+			norm := pred.MeanResponse / scenarios[i].ExpService
+			if norm > worst {
+				worst = norm
+			}
+		}
+		return worst, nil
+	}
+
+	best, err := predictAll(timeouts)
+	if err != nil {
+		return nil, err
+	}
+	const sweeps = 2
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for i := 0; i < n; i++ {
+			bestT := timeouts[i]
+			for _, g := range grid {
+				if g == timeouts[i] {
+					continue
+				}
+				trial := append([]float64(nil), timeouts...)
+				trial[i] = g
+				score, err := predictAll(trial)
+				if err != nil {
+					return nil, err
+				}
+				if score < best {
+					best = score
+					bestT = g
+				}
+			}
+			timeouts[i] = bestT
+		}
+	}
+	return timeouts, nil
+}
+
+func meanLoadOfOthers(scenarios []core.Scenario, i int) float64 {
+	sum, n := 0.0, 0
+	for j, s := range scenarios {
+		if j != i {
+			sum += s.Load
+			n++
+		}
+	}
+	if n == 0 {
+		return scenarios[i].Load
+	}
+	return sum / float64(n)
+}
+
+func minTimeoutOfOthers(ts []float64, i int) float64 {
+	minT := math.Inf(1)
+	for j, t := range ts {
+		if j != i && t < minT {
+			minT = t
+		}
+	}
+	if math.IsInf(minT, 1) {
+		return profile.TimeoutCap
+	}
+	return minT
+}

@@ -1,0 +1,44 @@
+package policy
+
+import "testing"
+
+func TestMedianFilterRemovesSpike(t *testing.T) {
+	g := [][]float64{
+		{1, 1, 1, 1, 1},
+		{1, 1, 1, 1, 1},
+		{1, 1, 100, 1, 1}, // spurious spike
+		{1, 1, 1, 1, 1},
+		{1, 1, 1, 1, 1},
+	}
+	out := medianFilterGrid(g)
+	if out[2][2] != 1 {
+		t.Fatalf("spike survived the filter: %v", out[2][2])
+	}
+}
+
+func TestMedianFilterPreservesSmoothGradient(t *testing.T) {
+	g := make([][]float64, 5)
+	for i := range g {
+		g[i] = make([]float64, 5)
+		for j := range g[i] {
+			g[i][j] = float64(i + j)
+		}
+	}
+	out := medianFilterGrid(g)
+	// Interior cells of a linear ramp are fixed points of the median.
+	for i := 1; i < 4; i++ {
+		for j := 1; j < 4; j++ {
+			if out[i][j] != g[i][j] {
+				t.Fatalf("smooth cell (%d,%d) changed: %v -> %v", i, j, g[i][j], out[i][j])
+			}
+		}
+	}
+}
+
+func TestMedianFilterDoesNotMutateInput(t *testing.T) {
+	g := [][]float64{{5, 1}, {1, 1}}
+	medianFilterGrid(g)
+	if g[0][0] != 5 {
+		t.Fatal("filter mutated its input")
+	}
+}

@@ -1,0 +1,15 @@
+package policy
+
+import (
+	"stac/internal/core"
+	"stac/internal/deepforest"
+	"stac/internal/profile"
+)
+
+// dfTestConfig is a small deep-forest configuration for policy tests.
+func dfTestConfig(ds profile.Dataset) deepforest.Config {
+	cfg := deepforest.FastConfig(core.MatrixSpec(ds.Schema))
+	cfg.CascadeTrees = 16
+	cfg.CascadeLevels = 2
+	return cfg
+}

@@ -1,0 +1,88 @@
+package profile
+
+import (
+	"fmt"
+
+	"stac/internal/testbed"
+	"stac/internal/workload"
+)
+
+// CollectOptions configures profile collection for one collocated pair.
+type CollectOptions struct {
+	// KernelA and KernelB are the collocated workloads.
+	KernelA, KernelB workload.Kernel
+	// Processor defaults to the Xeon E5-2683.
+	Processor testbed.Processor
+	// Schema defaults to DefaultSchema.
+	Schema Schema
+	// QueriesPerService per profiling run; each run yields roughly
+	// QueriesPerService / Schema.QueriesPerRow rows per service.
+	QueriesPerService int
+	// SamplePeriod is the counter-sampling period passed to the testbed
+	// (0 = testbed default).
+	SamplePeriod float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (o CollectOptions) defaults() CollectOptions {
+	if o.Processor.Name == "" {
+		o.Processor = testbed.XeonE5_2683()
+	}
+	if o.Schema.QueriesPerRow == 0 {
+		o.Schema = DefaultSchema()
+	}
+	if o.QueriesPerService == 0 {
+		o.QueriesPerService = 100
+	}
+	return o
+}
+
+// condition materialises a testbed condition for one sampled point.
+func (o CollectOptions) condition(p Point, runIdx int) testbed.Condition {
+	cond := testbed.Pair(o.KernelA, o.KernelB, p.LoadA, p.LoadB, p.TimeoutA, p.TimeoutB,
+		o.Seed+uint64(runIdx)*1_000_003)
+	cond.Processor = o.Processor
+	cond.QueriesPerService = o.QueriesPerService
+	if o.SamplePeriod > 0 {
+		cond.SamplePeriod = o.SamplePeriod
+	}
+	return cond
+}
+
+// Collect runs one profiling experiment per point and assembles the
+// dataset: rows for both collocated services.
+func Collect(opts CollectOptions, points []Point) (Dataset, error) {
+	opts = opts.defaults()
+	ds := Dataset{Schema: opts.Schema}
+	for i, p := range points {
+		run, err := testbed.Run(opts.condition(p, i))
+		if err != nil {
+			return Dataset{}, fmt.Errorf("profile: point %d: %w", i, err)
+		}
+		for svcIdx := range run.Services {
+			rows, err := BuildRows(opts.Schema, run, svcIdx)
+			if err != nil {
+				return Dataset{}, fmt.Errorf("profile: point %d service %d: %w", i, svcIdx, err)
+			}
+			for r := range rows {
+				rows[r].CondID = i
+			}
+			ds.Rows = append(ds.Rows, rows...)
+		}
+	}
+	return ds, nil
+}
+
+// EvalEA runs a short profiling experiment at a point and returns the
+// measured effective allocation of service A — the outcome signal the
+// stratified sampler clusters on.
+func EvalEA(opts CollectOptions, p Point) float64 {
+	opts = opts.defaults()
+	opts.QueriesPerService = 40
+	run, err := testbed.Run(opts.condition(p, 0))
+	if err != nil {
+		return 0
+	}
+	return run.Services[0].EffectiveAllocation()
+}

@@ -1,0 +1,212 @@
+// Package profile implements Stage 1 of the paper's pipeline: collecting
+// cache-usage profiles from the testbed, assembling the flattened feature
+// vectors of Equation 2,
+//
+//	P = <static, dynamic, query_0, ..., query_N, eff. allocation>
+//
+// computing effective cache allocation targets (Equation 3), splitting
+// datasets, and sampling runtime conditions — including the stratified
+// sampling of §4 that cut profiling time by 67 %.
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"stac/internal/counters"
+	"stac/internal/stats"
+	"stac/internal/testbed"
+)
+
+// TimeoutCap replaces an infinite ("never boost") timeout in feature
+// vectors; learners cannot digest +Inf and the paper's sweep tops out at
+// 600 % (6.0) anyway.
+const TimeoutCap = 8.0
+
+// Schema describes the layout of a profile row's feature vector: static
+// runtime-condition features, dynamic features observed during the window,
+// then a (counters × queries) matrix flattened row-major (each counter is
+// a row so spatially correlated counters are adjacent — Figure 7c).
+type Schema struct {
+	// Static names the runtime-condition features.
+	Static []string
+	// Dynamic names the observed dynamic-condition features.
+	Dynamic []string
+	// QueriesPerRow is N, the number of consecutive query executions
+	// whose counter vectors form one row (the paper's example uses 20).
+	QueriesPerRow int
+	// CounterOrder permutes the 29 counters; SpatialOrder preserves
+	// locality, ShuffledOrder destroys it (the Figure 7c ablation).
+	CounterOrder []int
+}
+
+// DefaultSchema returns the layout used throughout the evaluation:
+// 8 static + 3 dynamic + 20×29 matrix = 591 features (the paper's "580
+// original features" plus condition features).
+func DefaultSchema() Schema {
+	return Schema{
+		Static: []string{
+			"load", "timeout", "partner_load", "partner_timeout",
+			"private_ways", "shared_ways", "boost_ratio", "sample_period",
+		},
+		Dynamic:       []string{"queue_delay_rel_mean", "queue_delay_rel_max", "boosted_frac"},
+		QueriesPerRow: 20,
+		CounterOrder:  counters.SpatialOrder(),
+	}
+}
+
+// NumFeatures returns the total feature-vector length.
+func (s Schema) NumFeatures() int {
+	return len(s.Static) + len(s.Dynamic) + s.QueriesPerRow*counters.NumCounters
+}
+
+// MatrixOffset returns the index where the counter matrix begins.
+func (s Schema) MatrixOffset() int { return len(s.Static) + len(s.Dynamic) }
+
+// MatrixShape returns (rows, cols) of the embedded counter matrix:
+// counters × queries.
+func (s Schema) MatrixShape() (int, int) { return counters.NumCounters, s.QueriesPerRow }
+
+// Validate reports schema errors.
+func (s Schema) Validate() error {
+	if s.QueriesPerRow <= 0 {
+		return fmt.Errorf("profile: QueriesPerRow must be positive")
+	}
+	if len(s.CounterOrder) != counters.NumCounters {
+		return fmt.Errorf("profile: counter order has %d entries, want %d",
+			len(s.CounterOrder), counters.NumCounters)
+	}
+	seen := make([]bool, counters.NumCounters)
+	for _, i := range s.CounterOrder {
+		if i < 0 || i >= counters.NumCounters || seen[i] {
+			return fmt.Errorf("profile: counter order is not a permutation")
+		}
+		seen[i] = true
+	}
+	return nil
+}
+
+// Row is one profiling example: features plus the effective-allocation
+// target and bookkeeping about the window it came from.
+type Row struct {
+	Features []float64
+	// EA is the effective cache allocation target (Equation 3).
+	EA float64
+	// RespMean and RespP95 record the window's measured response times —
+	// the quantities Stage 3 must ultimately predict.
+	RespMean float64
+	RespP95  float64
+	// ExpService is the service's calibrated baseline service time
+	// (known to the modeler from profiling).
+	ExpService float64
+	// STMean and STCV summarise measured service times in the window,
+	// used to parameterise the Stage 3 service distribution.
+	STMean float64
+	STCV   float64
+	// Service names the workload the row belongs to.
+	Service string
+	// CondID identifies the profiling run (condition) the row came from.
+	// Train/test splits must separate conditions, not rows: rows from one
+	// run share the condition and would leak across a row-level split.
+	CondID int
+}
+
+// BuildRows converts one service's measurements from a testbed run into
+// profile rows: consecutive groups of QueriesPerRow queries each produce
+// one row, multiplying the training examples a single run yields (§3.1).
+func BuildRows(schema Schema, run *testbed.RunResult, svcIdx int) ([]Row, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if svcIdx < 0 || svcIdx >= len(run.Services) {
+		return nil, fmt.Errorf("profile: service index %d out of range", svcIdx)
+	}
+	svc := run.Services[svcIdx]
+	spec := svc.Spec
+
+	var partnerLoad, partnerTimeout float64
+	for i, other := range run.Services {
+		if i != svcIdx {
+			partnerLoad = other.Spec.Load
+			partnerTimeout = capTimeout(other.Spec.Timeout)
+			break
+		}
+	}
+
+	static := []float64{
+		spec.Load,
+		capTimeout(spec.Timeout),
+		partnerLoad,
+		partnerTimeout,
+		float64(run.Condition.PrivateWays),
+		float64(run.Condition.SharedWays),
+		svc.BoostRatio,
+		run.Condition.SamplePeriod / svc.ExpServiceTime,
+	}
+
+	n := schema.QueriesPerRow
+	var rows []Row
+	for start := 0; start+n <= len(svc.Queries); start += n {
+		window := svc.Queries[start : start+n]
+
+		var qdSum, qdMax, boosted, stSum float64
+		resp := make([]float64, len(window))
+		st := make([]float64, len(window))
+		for i, q := range window {
+			qd := q.QueueDelay() / svc.ExpServiceTime
+			qdSum += qd
+			if qd > qdMax {
+				qdMax = qd
+			}
+			if q.Boosted {
+				boosted++
+			}
+			st[i] = q.ServiceTime()
+			stSum += st[i]
+			resp[i] = q.Response()
+		}
+		dynamic := []float64{
+			qdSum / float64(n),
+			qdMax,
+			boosted / float64(n),
+		}
+
+		feats := make([]float64, 0, schema.NumFeatures())
+		feats = append(feats, static...)
+		feats = append(feats, dynamic...)
+		// Counter matrix, row-major: counter (in schema order) × query.
+		for _, ctr := range schema.CounterOrder {
+			for _, q := range window {
+				feats = append(feats, q.Counters[ctr])
+			}
+		}
+
+		meanST := stSum / float64(n)
+		ea := 0.0
+		if meanST > 0 && svc.BoostRatio > 0 {
+			ea = (svc.ExpServiceTime / meanST) / svc.BoostRatio
+		}
+		stcv := 0.0
+		if meanST > 0 {
+			stcv = stats.StdDev(st) / meanST
+		}
+		rows = append(rows, Row{
+			Features:   feats,
+			EA:         ea,
+			RespMean:   stats.Mean(resp),
+			RespP95:    stats.Percentile(resp, 95),
+			ExpService: svc.ExpServiceTime,
+			STMean:     meanST,
+			STCV:       stcv,
+			Service:    svc.Name,
+		})
+	}
+	return rows, nil
+}
+
+func capTimeout(t float64) float64 {
+	if math.IsInf(t, 1) || t > TimeoutCap {
+		return TimeoutCap
+	}
+	return t
+}

@@ -1,0 +1,26 @@
+package queueing
+
+import (
+	"testing"
+
+	"stac/internal/stats"
+)
+
+func BenchmarkSimulate(b *testing.B) {
+	cfg := Config{
+		Servers:   2,
+		Arrival:   stats.Exponential{Rate: 1.8},
+		Service:   stats.LognormalFromMeanCV(1, 0.5),
+		Timeout:   1.5,
+		BoostRate: 1.6,
+		Queries:   4000,
+		Warmup:    400,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package queueing implements Stage 3 of the modeling pipeline (§3.3):
+// first-principles response-time modeling. Short-term cache allocation
+// couples queueing delay to service rate (a query that waits long enough
+// gets boosted), which breaks the Markovian assumptions of closed-form
+// models — so the package centres on a discrete-event G/G/k simulator
+// whose service rate switches when a query's time in system crosses the
+// policy timeout, scaled by the learned effective cache allocation.
+// Closed-form M/M/c results are included for validating the simulator in
+// the no-boost regime.
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"stac/internal/stats"
+)
+
+// Config parameterises one service's queueing simulation.
+type Config struct {
+	// Servers is k, the number of parallel servers (the paper provisions
+	// 2 cores per service).
+	Servers int
+	// Arrival is the inter-arrival time distribution.
+	Arrival stats.Dist
+	// Service is the base service-time distribution (processing under the
+	// default allocation, no boost).
+	Service stats.Dist
+	// Timeout is the absolute time-in-system after which the remaining
+	// work runs at the boosted rate. Use math.Inf(1) for never.
+	Timeout float64
+	// BoostRate is the service-rate multiplier while boosted: effective
+	// allocation × gross allocation ratio. Values below 1 model boosts
+	// that hurt (heavy contention).
+	BoostRate float64
+	// Queries is the number of completed queries to measure after Warmup.
+	Queries int
+	// Warmup queries are simulated but not measured.
+	Warmup int
+	// Seed drives the simulation's randomness.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.Servers <= 0 {
+		return fmt.Errorf("queueing: servers must be positive")
+	}
+	if c.Arrival == nil || c.Service == nil {
+		return fmt.Errorf("queueing: arrival and service distributions required")
+	}
+	if c.Queries <= 0 {
+		return fmt.Errorf("queueing: queries must be positive")
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("queueing: negative timeout")
+	}
+	if c.BoostRate <= 0 {
+		return fmt.Errorf("queueing: boost rate must be positive")
+	}
+	return nil
+}
+
+// Result summarises a simulation.
+type Result struct {
+	ResponseTimes []float64
+	QueueDelays   []float64
+	BoostedFrac   float64
+}
+
+// MeanResponse returns the average response time.
+func (r Result) MeanResponse() float64 { return stats.Mean(r.ResponseTimes) }
+
+// P95Response returns the 95th-percentile response time.
+func (r Result) P95Response() float64 { return stats.Percentile(r.ResponseTimes, 95) }
+
+// MeanQueueDelay returns the average waiting time — the "instantaneous
+// queuing delay ... outputted as dynamic condition feedback for future
+// simulations" (§3.3).
+func (r Result) MeanQueueDelay() float64 { return stats.Mean(r.QueueDelays) }
+
+// Simulate runs the FCFS G/G/k simulation with timeout-triggered speedup.
+//
+// Because service is FCFS and non-preemptive per query, each query's
+// completion can be computed exactly at dispatch: work done before the
+// boost instant runs at rate 1, the remainder at BoostRate. A query whose
+// queueing delay already exceeds the timeout runs boosted from its first
+// cycle — exactly how the testbed's proxy behaves.
+func Simulate(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	total := cfg.Queries + cfg.Warmup
+
+	// serverFree[i] is when server i next becomes idle; FCFS assigns each
+	// arrival to the earliest-free server (equivalent to a single queue).
+	serverFree := make([]float64, cfg.Servers)
+
+	res := Result{
+		ResponseTimes: make([]float64, 0, cfg.Queries),
+		QueueDelays:   make([]float64, 0, cfg.Queries),
+	}
+	boosted := 0
+	now := 0.0
+	for q := 0; q < total; q++ {
+		now += cfg.Arrival.Sample(rng)
+		work := cfg.Service.Sample(rng)
+		if work <= 0 {
+			work = 1e-12
+		}
+
+		// Earliest-free server.
+		best := 0
+		for i := 1; i < cfg.Servers; i++ {
+			if serverFree[i] < serverFree[best] {
+				best = i
+			}
+		}
+		start := math.Max(now, serverFree[best])
+		boostAt := now + cfg.Timeout
+
+		var completion float64
+		wasBoosted := false
+		if math.IsInf(cfg.Timeout, 1) {
+			completion = start + work
+		} else if start >= boostAt {
+			completion = start + work/cfg.BoostRate
+			wasBoosted = true
+		} else {
+			baseSpan := boostAt - start
+			if work <= baseSpan {
+				completion = start + work
+			} else {
+				completion = boostAt + (work-baseSpan)/cfg.BoostRate
+				wasBoosted = true
+			}
+		}
+		serverFree[best] = completion
+
+		if q >= cfg.Warmup {
+			res.ResponseTimes = append(res.ResponseTimes, completion-now)
+			res.QueueDelays = append(res.QueueDelays, start-now)
+			if wasBoosted {
+				boosted++
+			}
+		}
+	}
+	if cfg.Queries > 0 {
+		res.BoostedFrac = float64(boosted) / float64(cfg.Queries)
+	}
+	return res, nil
+}
+
+// MMcWait returns the analytic mean waiting time (excluding service) of an
+// M/M/c queue with arrival rate lambda, per-server service rate mu and c
+// servers, via the Erlang-C formula. It returns an error when the system
+// is unstable (ρ >= 1).
+func MMcWait(lambda, mu float64, c int) (float64, error) {
+	if lambda <= 0 || mu <= 0 || c <= 0 {
+		return 0, fmt.Errorf("queueing: bad M/M/c parameters")
+	}
+	rho := lambda / (float64(c) * mu)
+	if rho >= 1 {
+		return 0, fmt.Errorf("queueing: unstable system (rho=%v)", rho)
+	}
+	a := lambda / mu
+	// Erlang C: P(wait) = (a^c/c!)·(1/(1-ρ)) / (Σ_{k<c} a^k/k! + a^c/c!·1/(1-ρ))
+	sum := 0.0
+	term := 1.0 // a^k / k!
+	for k := 0; k < c; k++ {
+		sum += term
+		term *= a / float64(k+1)
+	}
+	top := term / (1 - rho) // a^c/c! × 1/(1-ρ)
+	pWait := top / (sum + top)
+	return pWait / (float64(c)*mu - lambda), nil
+}
+
+// MM1Response returns the analytic mean response time of an M/M/1 queue.
+func MM1Response(lambda, mu float64) (float64, error) {
+	if lambda >= mu {
+		return 0, fmt.Errorf("queueing: unstable M/M/1 (lambda=%v mu=%v)", lambda, mu)
+	}
+	return 1 / (mu - lambda), nil
+}
+
+// MG1Wait returns the analytic mean waiting time of an M/G/1 queue via
+// the Pollaczek–Khinchine formula: W = λ·E[S²] / (2(1−ρ)). meanS and
+// cvS describe the general service distribution.
+func MG1Wait(lambda, meanS, cvS float64) (float64, error) {
+	if lambda <= 0 || meanS <= 0 || cvS < 0 {
+		return 0, fmt.Errorf("queueing: bad M/G/1 parameters")
+	}
+	rho := lambda * meanS
+	if rho >= 1 {
+		return 0, fmt.Errorf("queueing: unstable M/G/1 (rho=%v)", rho)
+	}
+	es2 := meanS * meanS * (1 + cvS*cvS)
+	return lambda * es2 / (2 * (1 - rho)), nil
+}

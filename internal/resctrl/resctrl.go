@@ -1,0 +1,220 @@
+// Package resctrl mimics the Linux resctrl interface for cache-allocation
+// control: schemata strings ("L3:0=ff0"), resource groups with task
+// membership, and capacity-bitmask validation with the contiguity rule
+// real hardware enforces. The package fronts the simulated LLC
+// (internal/cache) here; on a real machine the same Controller interface
+// would be implemented by filesystem writes to /sys/fs/resctrl — which is
+// the only way user space drives Intel CAT (the paper's tooling, pqos,
+// does the same under the hood).
+package resctrl
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Controller is the control surface a schemata write ultimately drives:
+// programming a capacity bitmask for a class of service. The simulated
+// LLC's SetMask satisfies it via SimulatedCache.
+type Controller interface {
+	// SetCacheMask programs the L3 capacity bitmask of a CLOS.
+	SetCacheMask(clos int, mask uint64) error
+	// CacheWays returns the number of maskable ways.
+	CacheWays() int
+}
+
+// Group is one resctrl resource group: a named CLOS with a schemata and
+// task membership.
+type Group struct {
+	Name  string
+	CLOS  int
+	Mask  uint64
+	Tasks map[int]struct{}
+}
+
+// FS is an in-memory model of the /sys/fs/resctrl tree.
+type FS struct {
+	ctrl     Controller
+	groups   map[string]*Group
+	taskHome map[int]string // task id -> group name
+	nextCLOS int
+	maxCLOS  int
+}
+
+// NewFS mounts the model over a controller. maxCLOS bounds the number of
+// groups (16 on contemporary Xeons; the default group consumes CLOS 0).
+func NewFS(ctrl Controller, maxCLOS int) (*FS, error) {
+	if ctrl == nil {
+		return nil, fmt.Errorf("resctrl: nil controller")
+	}
+	if maxCLOS < 1 {
+		return nil, fmt.Errorf("resctrl: need at least one CLOS")
+	}
+	fs := &FS{
+		ctrl:     ctrl,
+		groups:   map[string]*Group{},
+		taskHome: map[int]string{},
+		nextCLOS: 1,
+		maxCLOS:  maxCLOS,
+	}
+	// The root (default) group owns every way and every task initially.
+	full := fullMask(ctrl.CacheWays())
+	fs.groups[""] = &Group{Name: "", CLOS: 0, Mask: full, Tasks: map[int]struct{}{}}
+	if err := ctrl.SetCacheMask(0, full); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func fullMask(ways int) uint64 {
+	if ways >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(ways)) - 1
+}
+
+// MkGroup creates a resource group (mkdir /sys/fs/resctrl/<name>).
+func (fs *FS) MkGroup(name string) (*Group, error) {
+	if name == "" || strings.ContainsAny(name, "/ \t\n") {
+		return nil, fmt.Errorf("resctrl: invalid group name %q", name)
+	}
+	if _, dup := fs.groups[name]; dup {
+		return nil, fmt.Errorf("resctrl: group %q exists", name)
+	}
+	if fs.nextCLOS >= fs.maxCLOS {
+		return nil, fmt.Errorf("resctrl: out of CLOSids (max %d)", fs.maxCLOS)
+	}
+	g := &Group{
+		Name:  name,
+		CLOS:  fs.nextCLOS,
+		Mask:  fullMask(fs.ctrl.CacheWays()),
+		Tasks: map[int]struct{}{},
+	}
+	fs.nextCLOS++
+	fs.groups[name] = g
+	if err := fs.ctrl.SetCacheMask(g.CLOS, g.Mask); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// RmGroup removes a group; its tasks return to the default group.
+func (fs *FS) RmGroup(name string) error {
+	if name == "" {
+		return fmt.Errorf("resctrl: cannot remove the default group")
+	}
+	g, ok := fs.groups[name]
+	if !ok {
+		return fmt.Errorf("resctrl: no group %q", name)
+	}
+	for task := range g.Tasks {
+		fs.taskHome[task] = ""
+		fs.groups[""].Tasks[task] = struct{}{}
+	}
+	delete(fs.groups, name)
+	return nil
+}
+
+// Group returns a group by name ("" = default group).
+func (fs *FS) Group(name string) (*Group, bool) {
+	g, ok := fs.groups[name]
+	return g, ok
+}
+
+// Groups lists group names, default group first.
+func (fs *FS) Groups() []string {
+	out := make([]string, 0, len(fs.groups))
+	for name := range fs.groups {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AssignTask moves a task into a group (echo <pid> > tasks).
+func (fs *FS) AssignTask(task int, group string) error {
+	g, ok := fs.groups[group]
+	if !ok {
+		return fmt.Errorf("resctrl: no group %q", group)
+	}
+	if prev, ok := fs.taskHome[task]; ok {
+		delete(fs.groups[prev].Tasks, task)
+	}
+	g.Tasks[task] = struct{}{}
+	fs.taskHome[task] = group
+	return nil
+}
+
+// TaskGroup reports which group a task belongs to.
+func (fs *FS) TaskGroup(task int) string {
+	return fs.taskHome[task]
+}
+
+// WriteSchemata applies a schemata line ("L3:0=3f") to a group, enforcing
+// the hardware rules: hex CBM, non-empty, contiguous, within the way
+// count (echo "L3:0=3f" > schemata).
+func (fs *FS) WriteSchemata(group, schemata string) error {
+	g, ok := fs.groups[group]
+	if !ok {
+		return fmt.Errorf("resctrl: no group %q", group)
+	}
+	mask, err := ParseSchemata(schemata, fs.ctrl.CacheWays())
+	if err != nil {
+		return err
+	}
+	if err := fs.ctrl.SetCacheMask(g.CLOS, mask); err != nil {
+		return err
+	}
+	g.Mask = mask
+	return nil
+}
+
+// ReadSchemata renders a group's current schemata line.
+func (fs *FS) ReadSchemata(group string) (string, error) {
+	g, ok := fs.groups[group]
+	if !ok {
+		return "", fmt.Errorf("resctrl: no group %q", group)
+	}
+	return FormatSchemata(g.Mask), nil
+}
+
+// ParseSchemata parses an "L3:<domain>=<hex CBM>" line and validates the
+// CBM the way the kernel does: non-empty, contiguous and within ways.
+func ParseSchemata(s string, ways int) (uint64, error) {
+	s = strings.TrimSpace(s)
+	rest, ok := strings.CutPrefix(s, "L3:")
+	if !ok {
+		return 0, fmt.Errorf("resctrl: schemata must start with \"L3:\", got %q", s)
+	}
+	domain, cbm, ok := strings.Cut(rest, "=")
+	if !ok {
+		return 0, fmt.Errorf("resctrl: schemata missing '=': %q", s)
+	}
+	if domain != "0" {
+		return 0, fmt.Errorf("resctrl: only cache domain 0 is modelled, got %q", domain)
+	}
+	mask, err := strconv.ParseUint(strings.TrimPrefix(cbm, "0x"), 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("resctrl: bad CBM %q: %v", cbm, err)
+	}
+	if mask == 0 {
+		return 0, fmt.Errorf("resctrl: empty CBM")
+	}
+	if mask>>uint(ways) != 0 {
+		return 0, fmt.Errorf("resctrl: CBM %#x exceeds %d ways", mask, ways)
+	}
+	// Contiguity: the kernel rejects CBMs with holes.
+	norm := mask >> uint(bits.TrailingZeros64(mask))
+	if norm&(norm+1) != 0 {
+		return 0, fmt.Errorf("resctrl: non-contiguous CBM %#x", mask)
+	}
+	return mask, nil
+}
+
+// FormatSchemata renders a mask as an "L3:0=<hex>" line.
+func FormatSchemata(mask uint64) string {
+	return fmt.Sprintf("L3:0=%x", mask)
+}

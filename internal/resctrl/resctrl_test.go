@@ -1,0 +1,190 @@
+package resctrl
+
+import (
+	"testing"
+
+	"stac/internal/cache"
+)
+
+func newTestFS(t *testing.T) (*FS, *cache.Cache) {
+	t.Helper()
+	llc, err := cache.New(cache.Config{Sets: 16, Ways: 12, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFS(SimulatedCache{LLC: llc}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, llc
+}
+
+func TestParseSchemata(t *testing.T) {
+	cases := []struct {
+		in      string
+		ways    int
+		want    uint64
+		wantErr bool
+	}{
+		{"L3:0=3f", 12, 0x3f, false},
+		{"L3:0=0xff0", 12, 0xff0, false},
+		{" L3:0=1 ", 12, 1, false},
+		{"L3:0=0", 12, 0, true},    // empty CBM
+		{"L3:0=5", 12, 0, true},    // non-contiguous
+		{"L3:0=ffff", 12, 0, true}, // exceeds ways
+		{"L2:0=3", 12, 0, true},    // wrong resource
+		{"L3:1=3", 12, 0, true},    // unmodelled domain
+		{"L3:0=zz", 12, 0, true},   // bad hex
+		{"nonsense", 12, 0, true},  // no prefix
+	}
+	for _, c := range cases {
+		got, err := ParseSchemata(c.in, c.ways)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseSchemata(%q): err=%v wantErr=%v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseSchemata(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for _, mask := range []uint64{0x1, 0x3f, 0xff0, 0x800} {
+		got, err := ParseSchemata(FormatSchemata(mask), 12)
+		if err != nil {
+			t.Fatalf("mask %#x: %v", mask, err)
+		}
+		if got != mask {
+			t.Fatalf("round trip %#x -> %#x", mask, got)
+		}
+	}
+}
+
+func TestGroupLifecycle(t *testing.T) {
+	fs, llc := newTestFS(t)
+	g, err := fs.MkGroup("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CLOS != 1 {
+		t.Fatalf("first group CLOS %d, want 1", g.CLOS)
+	}
+	if err := fs.WriteSchemata("redis", "L3:0=30"); err != nil {
+		t.Fatal(err)
+	}
+	if llc.Mask(1) != 0x30 {
+		t.Fatalf("controller mask %#x, want 0x30", llc.Mask(1))
+	}
+	s, err := fs.ReadSchemata("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "L3:0=30" {
+		t.Fatalf("ReadSchemata = %q", s)
+	}
+	if err := fs.RmGroup("redis"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.Group("redis"); ok {
+		t.Fatal("group survived removal")
+	}
+}
+
+func TestTaskAssignment(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if _, err := fs.MkGroup("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AssignTask(1234, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.TaskGroup(1234) != "svc" {
+		t.Fatal("task not in group")
+	}
+	// Moving a task updates both groups.
+	if err := fs.AssignTask(1234, ""); err != nil {
+		t.Fatal(err)
+	}
+	if fs.TaskGroup(1234) != "" {
+		t.Fatal("task not moved to default group")
+	}
+	g, _ := fs.Group("svc")
+	if _, still := g.Tasks[1234]; still {
+		t.Fatal("task left behind in old group")
+	}
+}
+
+func TestRmGroupReturnsTasksToDefault(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if _, err := fs.MkGroup("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AssignTask(7, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RmGroup("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.TaskGroup(7) != "" {
+		t.Fatal("orphaned task not returned to default group")
+	}
+}
+
+func TestCLOSExhaustion(t *testing.T) {
+	fs, _ := newTestFS(t) // maxCLOS 4: default + 3 groups
+	for i := 0; i < 3; i++ {
+		if _, err := fs.MkGroup(string(rune('a' + i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.MkGroup("overflow"); err == nil {
+		t.Fatal("CLOS exhaustion not detected")
+	}
+}
+
+func TestInvalidOperations(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if _, err := fs.MkGroup(""); err == nil {
+		t.Error("empty group name accepted")
+	}
+	if _, err := fs.MkGroup("has space"); err == nil {
+		t.Error("group name with space accepted")
+	}
+	if err := fs.RmGroup(""); err == nil {
+		t.Error("removing default group accepted")
+	}
+	if err := fs.RmGroup("ghost"); err == nil {
+		t.Error("removing unknown group accepted")
+	}
+	if err := fs.WriteSchemata("ghost", "L3:0=3"); err == nil {
+		t.Error("schemata on unknown group accepted")
+	}
+	if err := fs.AssignTask(1, "ghost"); err == nil {
+		t.Error("assigning to unknown group accepted")
+	}
+	if _, err := fs.MkGroup("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.MkGroup("dup"); err == nil {
+		t.Error("duplicate group accepted")
+	}
+}
+
+func TestDefaultGroupOwnsEverythingInitially(t *testing.T) {
+	fs, llc := newTestFS(t)
+	g, ok := fs.Group("")
+	if !ok {
+		t.Fatal("no default group")
+	}
+	if g.Mask != 0xfff {
+		t.Fatalf("default mask %#x, want 0xfff (12 ways)", g.Mask)
+	}
+	if llc.Mask(0) != 0xfff {
+		t.Fatal("controller not programmed for default group")
+	}
+	groups := fs.Groups()
+	if len(groups) != 1 || groups[0] != "" {
+		t.Fatalf("groups = %v", groups)
+	}
+}

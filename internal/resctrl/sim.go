@@ -1,0 +1,25 @@
+package resctrl
+
+import (
+	"fmt"
+
+	"stac/internal/cache"
+)
+
+// SimulatedCache adapts the simulated LLC to the Controller interface, so
+// the resctrl front end drives the same masks the testbed uses.
+type SimulatedCache struct {
+	LLC *cache.Cache
+}
+
+// SetCacheMask programs the simulated LLC's CLOS mask.
+func (s SimulatedCache) SetCacheMask(clos int, mask uint64) error {
+	if clos < 0 || clos >= cache.MaxCLOS {
+		return fmt.Errorf("resctrl: CLOS %d out of range", clos)
+	}
+	s.LLC.SetMask(clos, mask)
+	return nil
+}
+
+// CacheWays reports the simulated LLC's way count.
+func (s SimulatedCache) CacheWays() int { return s.LLC.Config().Ways }

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Fatalf("P50 of {0,10} = %v, want 5", got)
+	}
+	if got := Percentile(xs, 95); math.Abs(got-9.5) > 1e-12 {
+		t.Fatalf("P95 of {0,10} = %v, want 9.5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestPercentileEmptyAndSingle(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	if Percentile([]float64{7}, 95) != 7 {
+		t.Fatal("single-element percentile should be the element")
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p := float64(pRaw) / 255 * 100
+		v := Percentile(raw, p)
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		return v >= sorted[0] && v <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(raw, a) <= Percentile(raw, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAPE(t *testing.T) {
+	if got := APE(100, 111); math.Abs(got-0.11) > 1e-12 {
+		t.Fatalf("APE = %v, want 0.11", got)
+	}
+	if got := APE(100, 89); math.Abs(got-0.11) > 1e-12 {
+		t.Fatalf("APE = %v, want 0.11", got)
+	}
+	if got := APE(0, 2); got != 2 {
+		t.Fatalf("APE with zero actual = %v, want 2", got)
+	}
+}
+
+func TestAPEsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	APEs([]float64{1}, []float64{1, 2})
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	s := Summarize(xs)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.P50 != 3 || s.Mean != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatal("empty summary should have N=0")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := NewRNG(3)
+	xs := make([]float64, 5000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.Float64()*10 - 5
+		w.Add(xs[i])
+	}
+	if math.Abs(w.Mean()-Mean(xs)) > 1e-9 {
+		t.Fatalf("welford mean %v != batch %v", w.Mean(), Mean(xs))
+	}
+	if math.Abs(w.Variance()-Variance(xs)) > 1e-9 {
+		t.Fatalf("welford var %v != batch %v", w.Variance(), Variance(xs))
+	}
+}
+
+func TestVarianceEdgeCases(t *testing.T) {
+	if Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("variance of <2 samples should be 0")
+	}
+	if v := Variance([]float64{2, 2, 2}); v != 0 {
+		t.Fatalf("constant variance = %v, want 0", v)
+	}
+}

@@ -1,0 +1,7 @@
+package testbed
+
+import "stac/internal/cat"
+
+// calSetting is the standard two-way baseline allocation mask used by
+// calibration benchmarks and tests.
+func calSetting() uint64 { return cat.Setting{Offset: 0, Length: 2}.Mask() }

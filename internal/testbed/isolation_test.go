@@ -1,0 +1,55 @@
+package testbed
+
+import (
+	"testing"
+
+	"stac/internal/workload"
+)
+
+// TestPrivateWaysIsolation verifies the paper's §2 guarantee end to end:
+// a service that never boosts installs lines only in its private ways, so
+// a collocated neighbour — even one that boosts constantly — can never
+// evict them. Cross-CLOS evictions must be zero for the never-boosting
+// side.
+func TestPrivateWaysIsolation(t *testing.T) {
+	cond := Pair(workload.KNN(), workload.Redis(), 0.6, 0.9, NeverBoost, 0, 23)
+	cond.QueriesPerService = 80
+	m, err := NewMachine(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	knnStats := m.h.LLC().Stats(0) // CLOS 0 = knn
+	if knnStats.EvictionsSuffered != 0 {
+		t.Fatalf("never-boosting knn suffered %d evictions despite private ways",
+			knnStats.EvictionsSuffered)
+	}
+}
+
+// TestSharedWayContention verifies the complementary behaviour: when both
+// services boost, they fight over the shared span and cross-CLOS
+// evictions appear.
+func TestSharedWayContention(t *testing.T) {
+	cond := Pair(workload.Redis(), workload.BFS(), 0.9, 0.9, 0, 0, 29)
+	cond.QueriesPerService = 80
+	m, err := NewMachine(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a := m.h.LLC().Stats(0)
+	b := m.h.LLC().Stats(1)
+	if a.EvictionsSuffered == 0 && b.EvictionsSuffered == 0 {
+		t.Fatal("always-boosting pair showed no shared-way contention")
+	}
+	// Conservation: evictions caused must equal evictions suffered in a
+	// two-service system.
+	if a.EvictionsCaused != b.EvictionsSuffered || b.EvictionsCaused != a.EvictionsSuffered {
+		t.Fatalf("eviction accounting inconsistent: caused (%d,%d) suffered (%d,%d)",
+			a.EvictionsCaused, b.EvictionsCaused, a.EvictionsSuffered, b.EvictionsSuffered)
+	}
+}

@@ -1,0 +1,528 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"stac/internal/cache"
+	"stac/internal/cat"
+	"stac/internal/counters"
+	"stac/internal/stats"
+	"stac/internal/workload"
+)
+
+// exec is one in-flight query execution bound to a core.
+type exec struct {
+	query     workload.Query
+	remaining int
+	core      int
+	coreIdx   int // index into the service's core list (selects pattern)
+	start     float64
+	clock     float64 // core-local absolute time
+	boosted   bool
+	done      bool
+
+	trace       counters.Trace
+	windowBusy  float64
+	measuredIdx int // index into service.measured, -1 when unmeasured
+}
+
+// service is the runtime state of one collocated online service.
+type service struct {
+	spec        ServiceSpec
+	name        string
+	clos        int
+	cores       []int
+	defaultMask uint64
+	boostMask   uint64
+	boostRatio  float64
+
+	source   *workload.Source
+	patterns []workload.Pattern // one per core: process state persists
+	rng      *stats.RNG
+
+	queue   []workload.Query
+	running []*exec // parallel to cores; nil = idle core
+	boosted bool
+
+	expService float64
+	rate       float64
+
+	// Cumulative derived counters (cycles, instructions, stalls).
+	instr       float64
+	busyCycles  float64
+	stallCycles float64
+
+	lastSnapshot counters.Sample
+	windowExecs  map[*exec]struct{}
+
+	completed   int
+	measured    []QueryResult
+	execOf      []*exec // pending counter attribution per measured query
+	windowTrace counters.Trace
+	queueDepths []float64
+
+	// Memory-bandwidth contention state: EWMA of the service's LLC miss
+	// rate (misses per simulated second) and the latency pressure other
+	// services' traffic currently exerts on this one.
+	lastMissCount uint64
+	missRate      float64
+	pressure      float64
+}
+
+// Machine executes conditions. Construct with NewMachine or use the Run
+// convenience wrapper.
+type Machine struct {
+	cond Condition
+	h    *cache.Hierarchy
+	svcs []*service
+	rng  *stats.RNG
+}
+
+// Run executes a condition from a cold machine and returns measurements.
+func Run(cond Condition) (*RunResult, error) {
+	m, err := NewMachine(cond)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// NewMachine validates the condition, calibrates per-service expected
+// service times and prepares the simulated hardware.
+func NewMachine(cond Condition) (*Machine, error) {
+	cond = cond.Defaults()
+	if err := cond.Validate(); err != nil {
+		return nil, err
+	}
+	masks, err := layoutMasks(cond)
+	if err != nil {
+		return nil, err
+	}
+	h, err := cache.NewHierarchy(cond.Processor.HierarchyConfig())
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cond: cond, h: h, rng: stats.NewRNG(cond.Seed)}
+	for i, spec := range cond.Services {
+		pol := masks[i]
+		base := uint64(i+1) << 32
+		exp := CalibrateServiceTime(cond.Processor, spec.Kernel, pol.Default, base, cond.Seed+uint64(i)*7919)
+		if exp <= 0 {
+			return nil, fmt.Errorf("testbed: calibration of %s produced %v", spec.Kernel.Name, exp)
+		}
+		rate := spec.Load * float64(cond.CoresPerService) / exp
+		svc := &service{
+			spec:        spec,
+			name:        spec.Kernel.Name,
+			clos:        i,
+			defaultMask: pol.Default,
+			boostMask:   pol.Boost,
+			boostRatio:  maskRatio(pol),
+			rng:         m.rng.Split(),
+			expService:  exp,
+			rate:        rate,
+			running:     make([]*exec, cond.CoresPerService),
+			windowExecs: make(map[*exec]struct{}),
+		}
+		for c := 0; c < cond.CoresPerService; c++ {
+			svc.cores = append(svc.cores, i*cond.CoresPerService+c)
+			svc.patterns = append(svc.patterns, spec.Kernel.NewPattern(base))
+		}
+		svc.source = workload.NewSource(spec.Kernel, stats.Exponential{Rate: rate}, m.rng.Split())
+		h.SetMask(svc.clos, pol.Default)
+		m.svcs = append(m.svcs, svc)
+	}
+	return m, nil
+}
+
+// layoutMasks materialises per-service default/boost capacity bitmasks
+// from the condition's layout: the paper's pairwise chain by default, or
+// the non-contiguous shared pool when PoolSharing is set (an extension —
+// real CAT rejects non-contiguous CBMs, but the simulated LLC does not).
+func layoutMasks(cond Condition) ([]cat.MaskPolicy, error) {
+	n := len(cond.Services)
+	if cond.PoolSharing {
+		pool := cond.SharedWays * (n - 1)
+		if pool <= 0 {
+			pool = cond.SharedWays
+		}
+		ml, err := cat.PlanPool(cond.Processor.Ways, n, cond.PrivateWays, pool)
+		if err != nil {
+			return nil, err
+		}
+		return ml.Policies, nil
+	}
+	layout, err := cat.PlanChain(cond.Processor.Ways, n, cond.PrivateWays, cond.SharedWays)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]cat.MaskPolicy, n)
+	for i, p := range layout.Policies {
+		out[i] = cat.MaskPolicy{Default: p.Default.Mask(), Boost: p.Boost.Mask()}
+	}
+	return out, nil
+}
+
+// maskRatio is the gross allocation increase of a mask policy (Eq. 3's
+// denominator) computed from way populations.
+func maskRatio(p cat.MaskPolicy) float64 {
+	d := bits.OnesCount64(p.Default)
+	if d == 0 {
+		return 0
+	}
+	return float64(bits.OnesCount64(p.Boost)) / float64(d)
+}
+
+// CalibrateServiceTime measures the kernel's mean solo service time under
+// its default allocation: a closed loop of queries on a single core with
+// no collocated contention. This is the "expected service time" that
+// normalises timeouts (Equation 4) and arrival rates.
+func CalibrateServiceTime(proc Processor, k workload.Kernel, allocMask uint64, base uint64, seed uint64) float64 {
+	h, err := cache.NewHierarchy(proc.HierarchyConfig())
+	if err != nil {
+		panic(fmt.Sprintf("testbed: calibration hierarchy: %v", err))
+	}
+	h.SetMask(0, allocMask)
+	r := stats.NewRNG(seed)
+	pat := k.NewPattern(base)
+	const warm, measured = 15, 40
+	var total float64
+	for q := 0; q < warm+measured; q++ {
+		demand := int(k.Demand.Sample(r))
+		if demand < 1 {
+			demand = 1
+		}
+		var t float64
+		for i := 0; i < demand; i++ {
+			a := pat.Next(r)
+			lvl := h.Access(0, 0, a.Addr, a.Write)
+			t += (k.ComputePerAccess + proc.Lat.Cost(lvl)) / proc.CyclesPerSecond
+		}
+		if q >= warm {
+			total += t
+		}
+	}
+	return total / measured
+}
+
+// Run executes the condition until every service completes its measured
+// query budget (or a generous simulated-time guard trips) and returns the
+// results.
+func (m *Machine) Run() (*RunResult, error) {
+	cond := m.cond
+	target := cond.QueriesPerService + cond.WarmupQueries
+
+	// Quantum: a small fraction of the fastest service so queries span
+	// many quanta and LLC contention interleaves finely.
+	minExp, maxExp := math.Inf(1), 0.0
+	minRate := math.Inf(1)
+	for _, s := range m.svcs {
+		minExp = math.Min(minExp, s.expService)
+		maxExp = math.Max(maxExp, s.expService)
+		minRate = math.Min(minRate, s.rate)
+	}
+	quantum := minExp / 64
+	const nSub = 2
+
+	maxSim := 40 * float64(target) / minRate
+	now := 0.0
+	nextSample := cond.SamplePeriod
+	rot := 0
+
+	for now < maxSim {
+		allDone := true
+		for _, s := range m.svcs {
+			if s.completed < target {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+
+		for _, s := range m.svcs {
+			m.admit(s, now)
+			m.dispatch(s, now)
+			m.updateBoost(s, now)
+		}
+		m.updatePressure(quantum)
+
+		// Execute the quantum in sub-slices, rotating service order so no
+		// service systematically wins LLC races.
+		for sub := 1; sub <= nSub; sub++ {
+			sliceEnd := now + quantum*float64(sub)/nSub
+			for off := 0; off < len(m.svcs); off++ {
+				s := m.svcs[(off+rot)%len(m.svcs)]
+				for _, e := range s.running {
+					if e != nil && !e.done {
+						m.runExec(s, e, sliceEnd)
+					}
+				}
+			}
+		}
+		rot++
+
+		for _, s := range m.svcs {
+			m.reap(s)
+		}
+
+		now += quantum
+		if now >= nextSample {
+			for _, s := range m.svcs {
+				m.sample(s)
+			}
+			nextSample += cond.SamplePeriod
+		}
+	}
+	// Final flush so completed queries get their counter attribution.
+	for _, s := range m.svcs {
+		m.sample(s)
+	}
+
+	res := &RunResult{Condition: cond, SimTime: now}
+	for _, s := range m.svcs {
+		res.Services = append(res.Services, ServiceResult{
+			Name:           s.name,
+			Spec:           s.spec,
+			ExpServiceTime: s.expService,
+			Queries:        s.measured,
+			WindowTrace:    s.windowTrace,
+			QueueDepths:    s.queueDepths,
+			BoostRatio:     s.boostRatio,
+		})
+	}
+	return res, nil
+}
+
+// admit moves arrived queries from the source into the proxy queue.
+func (m *Machine) admit(s *service, now float64) {
+	for s.source.Peek().Arrival <= now {
+		s.queue = append(s.queue, s.source.Pop())
+	}
+}
+
+// dispatch starts queued queries on idle cores.
+func (m *Machine) dispatch(s *service, now float64) {
+	for ci, e := range s.running {
+		if e != nil || len(s.queue) == 0 {
+			continue
+		}
+		q := s.queue[0]
+		s.queue = s.queue[1:]
+		ne := &exec{
+			query:       q,
+			remaining:   q.Accesses,
+			core:        s.cores[ci],
+			coreIdx:     ci,
+			start:       now,
+			clock:       now,
+			measuredIdx: -1,
+		}
+		s.running[ci] = ne
+		s.windowExecs[ne] = struct{}{}
+	}
+}
+
+// updateBoost applies the short-term allocation policy: the service's CLOS
+// switches to the boost setting while any in-flight execution has been in
+// the system longer than timeout × expected service time, and back to the
+// default once none has (Equation 4; §4: "if multiple queries were
+// outstanding for the same online service, all had access").
+func (m *Machine) updateBoost(s *service, now float64) {
+	boost := false
+	if !math.IsInf(s.spec.Timeout, 1) {
+		thresh := s.spec.Timeout * s.expService
+		for _, e := range s.running {
+			if e != nil && !e.done && now-e.query.Arrival > thresh {
+				boost = true
+				break
+			}
+		}
+	}
+	if boost != s.boosted {
+		s.boosted = boost
+		if s.spec.Boost == BoostFrequency {
+			return // frequency sprints leave the cache mask alone
+		}
+		if boost {
+			m.h.SetMask(s.clos, s.boostMask)
+		} else {
+			m.h.SetMask(s.clos, s.defaultMask)
+		}
+	}
+}
+
+// updatePressure refreshes each service's miss-rate EWMA and the memory
+// bandwidth pressure its neighbours exert on it. Misses travel to the
+// shared memory controller regardless of CAT masks, so a streaming
+// neighbour slows every collocated service's memory accesses.
+func (m *Machine) updatePressure(quantum float64) {
+	cap := m.cond.Processor.MemBandwidthCap
+	if cap <= 0 {
+		return
+	}
+	const ewma = 0.2
+	for _, s := range m.svcs {
+		cur := m.h.LLC().Stats(s.clos).Misses
+		rate := float64(cur-s.lastMissCount) / quantum
+		s.lastMissCount = cur
+		s.missRate = (1-ewma)*s.missRate + ewma*rate
+	}
+	for _, s := range m.svcs {
+		others := 0.0
+		for _, o := range m.svcs {
+			if o != s {
+				others += o.missRate
+			}
+		}
+		p := others / cap
+		if p > 2 {
+			p = 2
+		}
+		s.pressure = p
+	}
+}
+
+// runExec advances one execution until its core-local clock reaches the
+// slice end or the query completes.
+func (m *Machine) runExec(s *service, e *exec, until float64) {
+	lat := m.cond.Processor.Lat
+	cps := m.cond.Processor.CyclesPerSecond
+	k := s.spec.Kernel
+	pat := s.patterns[e.coreIdx]
+	// Frequency sprinting shrinks core-clocked work (compute and cache
+	// hits) while boosted; memory time is clock-independent.
+	freq := 1.0
+	if s.boosted && (s.spec.Boost == BoostFrequency || s.spec.Boost == BoostBoth) {
+		freq = m.cond.SprintFactor
+	}
+	for e.clock < until && e.remaining > 0 {
+		a := pat.Next(s.rng)
+		lvl := m.h.Access(e.core, s.clos, a.Addr, a.Write)
+		levelCost := lat.Cost(lvl)
+		if lvl == cache.LevelMemory {
+			levelCost *= 1 + s.pressure
+			levelCost *= freq // constant seconds: cycles inflate with clock
+		}
+		cost := (k.ComputePerAccess + levelCost) / freq
+		dt := cost / cps
+		e.clock += dt
+		e.windowBusy += dt
+		s.busyCycles += cost
+		s.stallCycles += levelCost - lat.L1Hit
+		s.instr += 1 + k.ComputePerAccess
+		e.remaining--
+	}
+	if s.boosted {
+		e.boosted = true
+	}
+	if e.remaining == 0 {
+		e.done = true
+	}
+}
+
+// reap records completed executions and frees their cores.
+func (m *Machine) reap(s *service) {
+	cond := m.cond
+	for ci, e := range s.running {
+		if e == nil || !e.done {
+			continue
+		}
+		s.running[ci] = nil
+		s.completed++
+		if s.completed > cond.WarmupQueries && len(s.measured) < cond.QueriesPerService {
+			e.measuredIdx = len(s.measured)
+			s.measured = append(s.measured, QueryResult{
+				Arrival:    e.query.Arrival,
+				Start:      e.start,
+				Completion: e.clock,
+				Boosted:    e.boosted,
+			})
+			s.execOf = append(s.execOf, e)
+		}
+		// Completed execs stay in windowExecs until the next sample so
+		// their final window share is attributed.
+	}
+}
+
+// snapshot computes the cumulative 29-counter state for a service.
+func (m *Machine) snapshot(s *service) counters.Sample {
+	var out counters.Sample
+	for _, core := range s.cores {
+		l1 := m.h.L1Stats(core)
+		l2 := m.h.L2Stats(core)
+		out[counters.L1DLoads] += float64(l1.Loads)
+		out[counters.L1DLoadMisses] += float64(l1.LoadMisses)
+		out[counters.L1DStores] += float64(l1.Stores)
+		out[counters.L1DStoreMisses] += float64(l1.StoreMisses)
+		out[counters.L2Requests] += float64(l2.Accesses())
+		out[counters.L2Loads] += float64(l2.Loads)
+		out[counters.L2LoadMisses] += float64(l2.LoadMisses)
+		out[counters.L2Stores] += float64(l2.Stores)
+		out[counters.L2StoreMisses] += float64(l2.StoreMisses)
+		out[counters.L2Installs] += float64(l2.Installs)
+	}
+	llc := m.h.LLC().Stats(s.clos)
+	out[counters.LLCLoads] = float64(llc.Loads)
+	out[counters.LLCLoadMisses] = float64(llc.LoadMisses)
+	out[counters.LLCStores] = float64(llc.Stores)
+	out[counters.LLCStoreMisses] = float64(llc.StoreMisses)
+	out[counters.LLCAccesses] = float64(llc.Accesses())
+	out[counters.LLCInstalls] = float64(llc.Installs)
+	out[counters.LLCEvictionsCaused] = float64(llc.EvictionsCaused)
+	out[counters.LLCEvictionsSuffered] = float64(llc.EvictionsSuffered)
+	out[counters.MemReads] = float64(llc.LoadMisses)
+	out[counters.MemWrites] = float64(llc.StoreMisses)
+	out[counters.Instructions] = s.instr
+	out[counters.Cycles] = s.busyCycles
+	out[counters.StallCycles] = s.stallCycles
+	// Instruction-side activity is synthesised: the simulator does not
+	// model an instruction cache, but the counters exist on real hardware
+	// and scale with retired instructions.
+	out[counters.L1ILoads] = s.instr * 0.25
+	out[counters.L1IMisses] = s.instr * 0.25 * 0.002
+	return out
+}
+
+// sample closes a counter window: compute the service-level delta,
+// derive instantaneous counters, attribute shares to the executions that
+// ran during the window and finalise measured queries that completed.
+func (m *Machine) sample(s *service) {
+	snap := m.snapshot(s)
+	var delta counters.Sample
+	for i := range delta {
+		delta[i] = snap[i] - s.lastSnapshot[i]
+	}
+	s.lastSnapshot = snap
+
+	if delta[counters.Cycles] > 0 {
+		delta[counters.IPC] = delta[counters.Instructions] / delta[counters.Cycles]
+	}
+	delta[counters.MemBandwidth] = (delta[counters.MemReads] + delta[counters.MemWrites]) * LineSize / m.cond.SamplePeriod
+	delta[counters.LLCOccupancy] = float64(m.h.LLC().Occupancy(s.clos))
+	delta[counters.QueueDepth] = float64(len(s.queue))
+
+	s.windowTrace = append(s.windowTrace, delta)
+	s.queueDepths = append(s.queueDepths, float64(len(s.queue)))
+
+	var totalBusy float64
+	for e := range s.windowExecs {
+		totalBusy += e.windowBusy
+	}
+	for e := range s.windowExecs {
+		if totalBusy > 0 && e.windowBusy > 0 {
+			e.trace = append(e.trace, delta.Scale(e.windowBusy/totalBusy))
+		}
+		e.windowBusy = 0
+		if e.done {
+			if e.measuredIdx >= 0 {
+				s.measured[e.measuredIdx].Counters = e.trace.Aggregate()
+				s.measured[e.measuredIdx].Trace = e.trace
+			}
+			delete(s.windowExecs, e)
+		}
+	}
+}

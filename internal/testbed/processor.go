@@ -1,0 +1,157 @@
+// Package testbed simulates the paper's experimental platform: collocated
+// online services running on a multi-core Xeon with a CAT-partitioned
+// shared LLC, per-service proxy queues, and the short-term-allocation
+// timeout monitor that switches classes of service at runtime. The
+// testbed produces the *ground truth* response times and counter traces
+// that the modeling pipeline must predict — the models never see its
+// internals.
+package testbed
+
+import (
+	"fmt"
+
+	"stac/internal/cache"
+)
+
+// Latencies gives per-level access costs in CPU cycles. Values approximate
+// a Xeon E5 v3/v4: the gap between an LLC hit and a memory access is what
+// makes cache allocation matter.
+type Latencies struct {
+	L1Hit  float64
+	L2Hit  float64
+	LLCHit float64
+	Memory float64
+}
+
+// DefaultLatencies returns the latency model used in all experiments.
+func DefaultLatencies() Latencies {
+	return Latencies{L1Hit: 4, L2Hit: 12, LLCHit: 42, Memory: 220}
+}
+
+// Cost returns the cycle cost for an access satisfied at the given level.
+func (l Latencies) Cost(lvl cache.Level) float64 {
+	switch lvl {
+	case cache.LevelL1:
+		return l.L1Hit
+	case cache.LevelL2:
+		return l.L2Hit
+	case cache.LevelLLC:
+		return l.LLCHit
+	default:
+		return l.Memory
+	}
+}
+
+// Processor describes one of the evaluation platforms (Figure 7b). The
+// simulator is a scale model: way counts are preserved exactly (CAT masks
+// operate on ways), while per-way capacity is scaled from 2 MB to
+// ScaledWayBytes so full experiments run in seconds. Workload working
+// sets (internal/workload) are scaled by the same factor.
+type Processor struct {
+	Name string
+	// LLCMegabytes is the real machine's LLC capacity.
+	LLCMegabytes int
+	// Ways is the LLC associativity == number of CAT-maskable ways.
+	Ways int
+	// Cores is the number of physical cores.
+	Cores int
+	// CyclesPerSecond converts cycle costs to simulated seconds.
+	CyclesPerSecond float64
+	// Lat is the per-level latency model.
+	Lat Latencies
+	// MemBandwidthCap is the memory-controller saturation point in LLC
+	// misses per second: a service's memory latency inflates by
+	// (other services' miss rate) / MemBandwidthCap. Collocated workloads
+	// contend for bandwidth even when CAT keeps their cache ways disjoint
+	// — the effect that makes naive queueing models misjudge collocated
+	// baselines.
+	MemBandwidthCap float64
+}
+
+// ScaledWayBytes is the simulated capacity of one LLC way (stands in for
+// 2 MB per way on the real machines).
+const ScaledWayBytes = 32 * 1024
+
+// LineSize is the cache line size in bytes at every level.
+const LineSize = 64
+
+// XeonE5_2683 is the paper's default platform: 16 cores, 40 MB LLC
+// (20 ways × 2 MB).
+func XeonE5_2683() Processor {
+	return Processor{
+		Name: "Xeon E5-2683", LLCMegabytes: 40, Ways: 20, Cores: 16,
+		CyclesPerSecond: 2.1e9, Lat: DefaultLatencies(), MemBandwidthCap: 50e6,
+	}
+}
+
+// XeonPlatinum8275A is socket 0 of the two-socket Platinum 8275 platform
+// (72 MB LLC).
+func XeonPlatinum8275A() Processor {
+	return Processor{
+		Name: "Xeon Platinum 8275 (72MB)", LLCMegabytes: 72, Ways: 36, Cores: 24,
+		CyclesPerSecond: 3.0e9, Lat: DefaultLatencies(), MemBandwidthCap: 90e6,
+	}
+}
+
+// XeonPlatinum8275B is socket 1 of the Platinum 8275 platform (59 MB LLC,
+// modelled as 30 ways).
+func XeonPlatinum8275B() Processor {
+	return Processor{
+		Name: "Xeon Platinum 8275 (59MB)", LLCMegabytes: 59, Ways: 30, Cores: 24,
+		CyclesPerSecond: 3.0e9, Lat: DefaultLatencies(), MemBandwidthCap: 90e6,
+	}
+}
+
+// Xeon2650 has a 30 MB LLC (15 ways) and 10 cores.
+func Xeon2650() Processor {
+	return Processor{
+		Name: "Xeon 2650", LLCMegabytes: 30, Ways: 15, Cores: 10,
+		CyclesPerSecond: 2.3e9, Lat: DefaultLatencies(), MemBandwidthCap: 45e6,
+	}
+}
+
+// Xeon2620 has a 20 MB LLC (10 ways) and 6 cores.
+func Xeon2620() Processor {
+	return Processor{
+		Name: "Xeon 2620", LLCMegabytes: 20, Ways: 10, Cores: 6,
+		CyclesPerSecond: 2.1e9, Lat: DefaultLatencies(), MemBandwidthCap: 35e6,
+	}
+}
+
+// Processors returns the five evaluation platforms of Figure 7b, smallest
+// LLC first.
+func Processors() []Processor {
+	return []Processor{
+		Xeon2620(), Xeon2650(), XeonE5_2683(), XeonPlatinum8275B(), XeonPlatinum8275A(),
+	}
+}
+
+// HierarchyConfig builds the scaled cache geometry for the processor.
+func (p Processor) HierarchyConfig() cache.HierarchyConfig {
+	return cache.HierarchyConfig{
+		Cores: p.Cores,
+		// Scaled private caches: 2 KiB L1, 16 KiB L2 (stand-ins for
+		// 32 KiB / 256 KiB at the same scale factor as the LLC).
+		L1: cache.Config{Sets: 8, Ways: 4, LineSize: LineSize},
+		L2: cache.Config{Sets: 32, Ways: 8, LineSize: LineSize},
+		LLC: cache.Config{
+			Sets:     ScaledWayBytes / LineSize,
+			Ways:     p.Ways,
+			LineSize: LineSize,
+		},
+	}
+}
+
+// Validate reports configuration errors.
+func (p Processor) Validate() error {
+	if p.Cores <= 0 {
+		return fmt.Errorf("testbed: processor %q has no cores", p.Name)
+	}
+	if p.Ways <= 0 || p.Ways > 64 {
+		return fmt.Errorf("testbed: processor %q ways %d out of range", p.Name, p.Ways)
+	}
+	if p.CyclesPerSecond <= 0 {
+		return fmt.Errorf("testbed: processor %q has non-positive clock", p.Name)
+	}
+	return p.HierarchyConfig().Validate()
+}

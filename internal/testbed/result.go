@@ -1,0 +1,167 @@
+package testbed
+
+import (
+	"stac/internal/counters"
+	"stac/internal/stats"
+)
+
+// QueryResult records the measured life cycle of one query execution.
+type QueryResult struct {
+	// Arrival, Start and Completion are simulated timestamps.
+	Arrival    float64
+	Start      float64
+	Completion float64
+	// Boosted reports whether the execution ran with short-term
+	// allocation at any point.
+	Boosted bool
+	// Counters aggregates the 29 sampled counters attributed to this
+	// execution (the proxy differentiates service-level samples by query).
+	Counters counters.Sample
+	// Trace holds the per-window attributed samples.
+	Trace counters.Trace
+}
+
+// Response returns completion − arrival (time in system).
+func (q QueryResult) Response() float64 { return q.Completion - q.Arrival }
+
+// ServiceTime returns completion − start (processing time).
+func (q QueryResult) ServiceTime() float64 { return q.Completion - q.Start }
+
+// QueueDelay returns start − arrival (waiting time).
+func (q QueryResult) QueueDelay() float64 { return q.Start - q.Arrival }
+
+// ServiceResult aggregates measurements for one collocated service.
+type ServiceResult struct {
+	// Name is the kernel name.
+	Name string
+	// Spec echoes the configuration that produced the result.
+	Spec ServiceSpec
+	// ExpServiceTime is the calibrated baseline service time used to
+	// normalise the timeout (Equation 4) and arrival rate.
+	ExpServiceTime float64
+	// Queries holds per-query measurements (post-warmup).
+	Queries []QueryResult
+	// WindowTrace holds per-sampling-window service-level counter deltas
+	// for the whole run.
+	WindowTrace counters.Trace
+	// QueueDepths samples the queue length at every window boundary.
+	QueueDepths []float64
+	// BoostRatio is l_a′/l_a for the service's policy.
+	BoostRatio float64
+}
+
+// ResponseTimes extracts the response time of every measured query.
+func (s ServiceResult) ResponseTimes() []float64 {
+	out := make([]float64, len(s.Queries))
+	for i, q := range s.Queries {
+		out[i] = q.Response()
+	}
+	return out
+}
+
+// ServiceTimes extracts the processing time of every measured query.
+func (s ServiceResult) ServiceTimes() []float64 {
+	out := make([]float64, len(s.Queries))
+	for i, q := range s.Queries {
+		out[i] = q.ServiceTime()
+	}
+	return out
+}
+
+// QueueDelays extracts the queueing delay of every measured query.
+func (s ServiceResult) QueueDelays() []float64 {
+	out := make([]float64, len(s.Queries))
+	for i, q := range s.Queries {
+		out[i] = q.QueueDelay()
+	}
+	return out
+}
+
+// MeanResponse returns the average response time.
+func (s ServiceResult) MeanResponse() float64 { return stats.Mean(s.ResponseTimes()) }
+
+// P95Response returns the 95th-percentile response time.
+func (s ServiceResult) P95Response() float64 { return stats.Percentile(s.ResponseTimes(), 95) }
+
+// MeanServiceTime returns the average processing time.
+func (s ServiceResult) MeanServiceTime() float64 { return stats.Mean(s.ServiceTimes()) }
+
+// BoostedFraction returns the fraction of queries that ran boosted.
+func (s ServiceResult) BoostedFraction() float64 {
+	if len(s.Queries) == 0 {
+		return 0
+	}
+	n := 0
+	for _, q := range s.Queries {
+		if q.Boosted {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Queries))
+}
+
+// EffectiveAllocation computes Equation 3: the speedup of the measured
+// service time over the calibrated baseline service time, normalised by
+// the gross increase in allocation (BoostRatio). Values near 1 indicate
+// the extra ways translate into proportional speedup; heavy contention
+// drags the value down.
+func (s ServiceResult) EffectiveAllocation() float64 {
+	st := s.MeanServiceTime()
+	if st <= 0 || s.BoostRatio <= 0 {
+		return 0
+	}
+	speedup := s.ExpServiceTime / st
+	return speedup / s.BoostRatio
+}
+
+// EffectiveAllocationWindows splits the run into nWindows equal spans of
+// measured queries and computes effective allocation per span — §3.1:
+// "profiling runs capture dynamic runtime conditions during execution,
+// allowing us to split long running tests into multiple smaller
+// measurements of effective cache allocation."
+func (s ServiceResult) EffectiveAllocationWindows(nWindows int) []float64 {
+	if nWindows <= 0 || len(s.Queries) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, nWindows)
+	per := len(s.Queries) / nWindows
+	if per == 0 {
+		per = 1
+	}
+	for start := 0; start < len(s.Queries); start += per {
+		end := start + per
+		if end > len(s.Queries) {
+			end = len(s.Queries)
+		}
+		span := s.Queries[start:end]
+		times := make([]float64, len(span))
+		for i, q := range span {
+			times[i] = q.ServiceTime()
+		}
+		st := stats.Mean(times)
+		if st <= 0 || s.BoostRatio <= 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, (s.ExpServiceTime/st)/s.BoostRatio)
+	}
+	return out
+}
+
+// RunResult is the outcome of executing one condition on the testbed.
+type RunResult struct {
+	Condition Condition
+	Services  []ServiceResult
+	// SimTime is the total simulated duration.
+	SimTime float64
+}
+
+// Service returns the result for the named service, or nil.
+func (r *RunResult) Service(name string) *ServiceResult {
+	for i := range r.Services {
+		if r.Services[i].Name == name {
+			return &r.Services[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+// Package workload provides the eight benchmark kernels of the paper's
+// Table 1 as synthetic memory-access-pattern generators, plus the query
+// (demand) generators that drive them.
+//
+// The real benchmarks (Rodinia, Spark, Redis/YCSB, DeathStarBench Social)
+// are not runnable in this environment, so each kernel reproduces the
+// *cache-access characteristics* Table 1 reports — relative data reuse,
+// miss rates and write intensity — as a procedural address stream. The
+// testbed feeds these streams through the simulated cache hierarchy, so
+// speedup from extra LLC ways and slowdown from contention emerge from
+// the same mechanics as on real hardware.
+package workload
+
+import (
+	"stac/internal/stats"
+)
+
+// Access is a single memory reference.
+type Access struct {
+	Addr  uint64
+	Write bool
+}
+
+// Pattern generates a stream of memory accesses. Implementations are
+// stateful (they model pointers walking data structures) and draw any
+// randomness from the supplied RNG so runs are reproducible.
+type Pattern interface {
+	Next(r *stats.RNG) Access
+}
+
+// Reset is implemented by patterns whose state should restart for each new
+// query execution (for example, a scan that begins at the head of the data
+// set for every query).
+type Resetter interface {
+	Reset()
+}
+
+// StrideScan sweeps sequentially through [Base, Base+Size) with the given
+// stride, wrapping at the end: the canonical streaming/stencil pattern
+// (Jacobi-style grid sweeps). WriteFrac of accesses are stores.
+type StrideScan struct {
+	Base      uint64
+	Size      uint64
+	Stride    uint64
+	WriteFrac float64
+
+	pos uint64
+}
+
+// Next returns the next access in the sweep.
+func (s *StrideScan) Next(r *stats.RNG) Access {
+	a := Access{Addr: s.Base + s.pos, Write: r.Float64() < s.WriteFrac}
+	s.pos += s.Stride
+	if s.pos >= s.Size {
+		s.pos = 0
+	}
+	return a
+}
+
+// Reset restarts the sweep at the base address.
+func (s *StrideScan) Reset() { s.pos = 0 }
+
+// Stream models pure streaming input (Spark windowed word count reading a
+// network stream): the address advances monotonically and never repeats,
+// so every LLC access misses once the line leaves L1/L2.
+type Stream struct {
+	Base      uint64
+	Stride    uint64
+	WriteFrac float64
+
+	pos uint64
+}
+
+// Next returns the next streaming access.
+func (s *Stream) Next(r *stats.RNG) Access {
+	a := Access{Addr: s.Base + s.pos, Write: r.Float64() < s.WriteFrac}
+	s.pos += s.Stride
+	return a
+}
+
+// ZipfRegion accesses records in [Base, Base+RecordSize*NumRecords) with a
+// Zipf popularity distribution over records; each operation touches
+// LinesPerOp consecutive lines of the chosen record (a Redis GET/SET
+// touching a contiguous value). The skew controls data reuse: high skew
+// concentrates accesses on hot records.
+type ZipfRegion struct {
+	Base       uint64
+	RecordSize uint64
+	LinesPerOp int
+	WriteFrac  float64
+	Zipf       *stats.Zipf
+
+	rec  int
+	line int
+}
+
+// Next returns the next access; a new record is chosen every LinesPerOp
+// accesses.
+func (z *ZipfRegion) Next(r *stats.RNG) Access {
+	if z.line == 0 {
+		z.rec = z.Zipf.Sample(r)
+	}
+	addr := z.Base + uint64(z.rec)*z.RecordSize + uint64(z.line)*64
+	write := r.Float64() < z.WriteFrac
+	z.line++
+	if z.line >= z.LinesPerOp {
+		z.line = 0
+	}
+	return Access{Addr: addr, Write: write}
+}
+
+// RandomWalk jumps uniformly within [Base, Base+Size): pointer chasing
+// through an adjacency structure (BFS) with limited spatial locality.
+// Locality consecutive accesses stay within a small neighbourhood of the
+// last jump, modelling a vertex's edge list.
+type RandomWalk struct {
+	Base      uint64
+	Size      uint64
+	Locality  int // consecutive sequential lines after each jump
+	WriteFrac float64
+
+	cur  uint64
+	left int
+}
+
+// Next returns the next access of the walk.
+func (w *RandomWalk) Next(r *stats.RNG) Access {
+	if w.left == 0 {
+		w.cur = w.Base + uint64(r.Intn(int(w.Size/64)))*64
+		w.left = w.Locality
+	} else {
+		w.cur += 64
+		if w.cur >= w.Base+w.Size {
+			w.cur = w.Base
+		}
+	}
+	w.left--
+	return Access{Addr: w.cur, Write: r.Float64() < w.WriteFrac}
+}
+
+// Mixture selects among component patterns with the given weights for each
+// access — used for multi-component services (Social's microservices,
+// k-means' hot centroids plus scanned points).
+type Mixture struct {
+	Components []Pattern
+	Weights    []float64 // normalised lazily
+
+	cdf []float64
+}
+
+// Next picks a component by weight and returns its next access.
+func (m *Mixture) Next(r *stats.RNG) Access {
+	if m.cdf == nil {
+		total := 0.0
+		for _, w := range m.Weights {
+			total += w
+		}
+		m.cdf = make([]float64, len(m.Weights))
+		acc := 0.0
+		for i, w := range m.Weights {
+			acc += w / total
+			m.cdf[i] = acc
+		}
+	}
+	u := r.Float64()
+	for i, c := range m.cdf {
+		if u <= c {
+			return m.Components[i].Next(r)
+		}
+	}
+	return m.Components[len(m.Components)-1].Next(r)
+}
+
+// Reset resets every component that supports it.
+func (m *Mixture) Reset() {
+	for _, c := range m.Components {
+		if rs, ok := c.(Resetter); ok {
+			rs.Reset()
+		}
+	}
+}
+
+// PhaseJump wraps a pattern and relocates its random component
+// periodically: Spark executors switching tasks between partitions. Every
+// JumpEvery accesses the walk region shifts to a random partition within
+// [Base, Base+Size).
+type PhaseJump struct {
+	Base      uint64
+	Size      uint64
+	Partition uint64
+	JumpEvery int
+	Inner     *StrideScan
+
+	count int
+}
+
+// Next returns the next access, jumping partitions periodically.
+func (p *PhaseJump) Next(r *stats.RNG) Access {
+	if p.count == 0 {
+		nParts := int(p.Size / p.Partition)
+		p.Inner.Base = p.Base + uint64(r.Intn(nParts))*p.Partition
+		p.Inner.Size = p.Partition
+		p.Inner.Reset()
+		p.count = p.JumpEvery
+	}
+	p.count--
+	return p.Inner.Next(r)
+}
+
+// Reset clears the jump counter so the next access re-randomises.
+func (p *PhaseJump) Reset() { p.count = 0 }

@@ -1,0 +1,53 @@
+package workload
+
+import "stac/internal/stats"
+
+// Query is one query execution request for an online service.
+type Query struct {
+	// ID numbers queries per service in arrival order.
+	ID int
+	// Arrival is the arrival time in simulated seconds.
+	Arrival float64
+	// Accesses is the memory-access demand drawn from the kernel's
+	// demand distribution.
+	Accesses int
+}
+
+// Source generates a stream of queries for one service: exponential (or
+// other) inter-arrival times and per-query demands drawn from the kernel.
+type Source struct {
+	kernel Kernel
+	inter  stats.Dist
+	rng    *stats.RNG
+
+	next Query
+	now  float64
+}
+
+// NewSource builds a query source. interArrival is the inter-arrival time
+// distribution (the paper uses exponential inter-arrivals with the rate
+// set relative to service time, §5.2).
+func NewSource(k Kernel, interArrival stats.Dist, rng *stats.RNG) *Source {
+	s := &Source{kernel: k, inter: interArrival, rng: rng}
+	s.advance()
+	return s
+}
+
+func (s *Source) advance() {
+	s.now += s.inter.Sample(s.rng)
+	d := s.kernel.Demand.Sample(s.rng)
+	if d < 1 {
+		d = 1
+	}
+	s.next = Query{ID: s.next.ID + 1, Arrival: s.now, Accesses: int(d)}
+}
+
+// Peek returns the next query without consuming it.
+func (s *Source) Peek() Query { return s.next }
+
+// Pop consumes and returns the next query.
+func (s *Source) Pop() Query {
+	q := s.next
+	s.advance()
+	return q
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"stac/internal/stats"
+)
+
+// Replay is a Pattern that replays a recorded address trace, wrapping at
+// the end. It bridges the synthetic kernels to real workloads: traces
+// captured on production systems (e.g. with DynamoRIO or Pin) can drive
+// the same profiling pipeline once converted to the simple text format
+// ReadTrace parses.
+type Replay struct {
+	Accesses []Access
+
+	pos int
+}
+
+// Next returns the next recorded access.
+func (r *Replay) Next(*stats.RNG) Access {
+	if len(r.Accesses) == 0 {
+		return Access{}
+	}
+	a := r.Accesses[r.pos]
+	r.pos++
+	if r.pos >= len(r.Accesses) {
+		r.pos = 0
+	}
+	return a
+}
+
+// Reset restarts the replay from the beginning.
+func (r *Replay) Reset() { r.pos = 0 }
+
+// ReadTrace parses a text trace: one access per line, "R <hexaddr>" or
+// "W <hexaddr>" (the common output shape of memory-trace tools). Empty
+// lines and lines starting with '#' are skipped.
+func ReadTrace(rd io.Reader) (*Replay, error) {
+	scanner := bufio.NewScanner(rd)
+	out := &Replay{}
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, addrStr, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("workload: trace line %d: want \"R|W <hexaddr>\", got %q", lineNo, line)
+		}
+		var write bool
+		switch strings.ToUpper(op) {
+		case "R":
+			write = false
+		case "W":
+			write = true
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: unknown op %q", lineNo, op)
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(addrStr, "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad address %q", lineNo, addrStr)
+		}
+		out.Accesses = append(out.Accesses, Access{Addr: addr, Write: write})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(out.Accesses) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return out, nil
+}
+
+// KernelFromTrace wraps a recorded trace as a Kernel so it can be
+// collocated and profiled exactly like the synthetic benchmarks. demand
+// is the mean accesses per query (lognormal, CV 0.3); computePerAccess
+// sets the arithmetic intensity.
+func KernelFromTrace(name string, replay *Replay, demandMean, computePerAccess float64) Kernel {
+	return Kernel{
+		Name:             name,
+		Description:      "replayed address trace",
+		CachePattern:     "from trace",
+		WorkingSet:       uint64(len(replay.Accesses)) * 64,
+		ComputePerAccess: computePerAccess,
+		Demand:           stats.LognormalFromMeanCV(demandMean, 0.3),
+		NewPattern: func(base uint64) Pattern {
+			// Each instance replays its own cursor over the shared
+			// recorded accesses, offset into the instance's address slot.
+			shifted := make([]Access, len(replay.Accesses))
+			for i, a := range replay.Accesses {
+				shifted[i] = Access{Addr: base + a.Addr, Write: a.Write}
+			}
+			return &Replay{Accesses: shifted}
+		},
+	}
+}

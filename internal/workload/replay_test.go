@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"stac/internal/stats"
+)
+
+const sampleTrace = `# comment line
+R 1000
+W 0x1040
+
+R 1080
+r 1000
+w 1040
+`
+
+func TestReadTrace(t *testing.T) {
+	rp, err := ReadTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Accesses) != 5 {
+		t.Fatalf("parsed %d accesses, want 5", len(rp.Accesses))
+	}
+	if rp.Accesses[0].Addr != 0x1000 || rp.Accesses[0].Write {
+		t.Fatalf("first access wrong: %+v", rp.Accesses[0])
+	}
+	if rp.Accesses[1].Addr != 0x1040 || !rp.Accesses[1].Write {
+		t.Fatalf("second access wrong: %+v", rp.Accesses[1])
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty
+		"X 1000\n",      // bad op
+		"R zz\n",        // bad address
+		"justoneword\n", // missing field
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("trace %q accepted", c)
+		}
+	}
+}
+
+func TestReplayWrapsAround(t *testing.T) {
+	rp, err := ReadTrace(strings.NewReader("R 0\nR 40\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(1)
+	want := []uint64{0, 0x40, 0, 0x40, 0}
+	for i, w := range want {
+		if a := rp.Next(r); a.Addr != w {
+			t.Fatalf("access %d = %#x, want %#x", i, a.Addr, w)
+		}
+	}
+	rp.Reset()
+	if rp.Next(r).Addr != 0 {
+		t.Fatal("Reset did not restart")
+	}
+}
+
+func TestKernelFromTrace(t *testing.T) {
+	rp, err := ReadTrace(strings.NewReader("R 0\nW 40\nR 80\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KernelFromTrace("custom", rp, 500, 8)
+	if k.Name != "custom" || k.Demand.Mean() < 499 || k.ComputePerAccess != 8 {
+		t.Fatalf("kernel misconfigured: %+v", k)
+	}
+	pat := k.NewPattern(1 << 30)
+	r := stats.NewRNG(1)
+	a := pat.Next(r)
+	if a.Addr != 1<<30 {
+		t.Fatalf("base offset not applied: %#x", a.Addr)
+	}
+	// Two instances replay independently.
+	p2 := k.NewPattern(1 << 30)
+	pat.Next(r)
+	if got := p2.Next(r).Addr; got != 1<<30 {
+		t.Fatalf("instances share cursors: %#x", got)
+	}
+}

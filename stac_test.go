@@ -1,0 +1,109 @@
+package stac
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWorkloadsFacade(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 8 {
+		t.Fatalf("want 8 workloads, got %d", len(ws))
+	}
+	k, err := WorkloadByName("redis")
+	if err != nil || k.Name != "redis" {
+		t.Fatalf("WorkloadByName failed: %v %v", k.Name, err)
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestProcessorsFacade(t *testing.T) {
+	if DefaultProcessor().Name == "" {
+		t.Fatal("default processor unnamed")
+	}
+	if len(Processors()) != 5 {
+		t.Fatalf("want 5 processors, got %d", len(Processors()))
+	}
+}
+
+func TestCollocateAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testbed run is slow")
+	}
+	redis, _ := WorkloadByName("redis")
+	knn, _ := WorkloadByName("knn")
+	cond := Collocate(redis, knn, 0.7, 0.5, 1.0, NeverBoost, 3)
+	cond.QueriesPerService = 50
+	res, err := Run(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Services) != 2 {
+		t.Fatalf("want 2 services, got %d", len(res.Services))
+	}
+	if res.Services[0].MeanResponse() <= 0 {
+		t.Fatal("non-positive response time")
+	}
+}
+
+func TestMissCurveMonotone(t *testing.T) {
+	proc := DefaultProcessor()
+	bfs, _ := WorkloadByName("bfs")
+	prev := math.Inf(1)
+	for _, ways := range []int{1, 2, 4, 8} {
+		frac, err := MissCurvePoint(proc, bfs, ways, 20000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frac > prev+0.02 {
+			t.Fatalf("miss fraction rose with more ways: %v -> %v at %d ways", prev, frac, ways)
+		}
+		prev = frac
+	}
+}
+
+func TestEndToEndFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full facade flow is slow")
+	}
+	redis, _ := WorkloadByName("redis")
+	bfs, _ := WorkloadByName("bfs")
+	ds, err := Profile(ProfileOptions{
+		KernelA: redis, KernelB: bfs, Points: 10, QueriesPerCondition: 60,
+		UseUniform: true, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+	pred, err := Train(ds, TrainOptions{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := NewScenario(ds, "redis", 0.9, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewScenario(ds, "bfs", 0.9, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pred.PredictResponse(sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MeanResponse <= 0 || p.EA <= 0 {
+		t.Fatalf("implausible prediction %+v", p)
+	}
+	d, err := FindPolicy(pred, sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TimeoutA < 0 || d.TimeoutB < 0 {
+		t.Fatalf("negative timeouts: %+v", d)
+	}
+}
