@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	stac experiment <id|all> [-seed N] [-thorough]
-//	stac pipeline -a <kernel> -b <kernel> [-points N] [-load ρ] [-seed N]
+//	stac experiment <id|all> [-seed N] [-thorough] [-workers N]
+//	stac pipeline -a <kernel> -b <kernel> [-points N] [-load ρ] [-seed N] [-workers N]
 //	stac workloads
 //	stac list
 package main
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"stac"
 	"stac/internal/experiments"
@@ -60,7 +61,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  stac experiment <id|all> [-seed N] [-thorough]   regenerate paper tables/figures
+  stac experiment <id|all> [-seed N] [-thorough] [-workers N]
+                                                   regenerate paper tables/figures
   stac pipeline -a <kernel> -b <kernel> [flags]    run profile -> train -> search -> evaluate
   stac profile -a <kernel> -b <kernel> -out <f>    collect a profiling dataset to disk
   stac train -in <dataset> -model <f>              train a deep-forest EA model
@@ -88,11 +90,13 @@ func cmdExperiment(args []string) error {
 }
 
 // parseExperimentArgs splits experiment ids (which may precede flags)
-// from the -seed/-thorough options and expands the "all" alias.
+// from the -seed/-thorough/-workers options and expands the "all" alias.
 func parseExperimentArgs(args []string) ([]string, experiments.Options, error) {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 2022, "random seed")
 	thorough := fs.Bool("thorough", false, "larger datasets and model budgets (slower)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"parallel workers; results are identical at any count (1 = sequential)")
 	var ids []string
 	rest := args
 	for len(rest) > 0 && rest[0][0] != '-' {
@@ -108,7 +112,7 @@ func parseExperimentArgs(args []string) ([]string, experiments.Options, error) {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.IDs()
 	}
-	return ids, experiments.Options{Seed: *seed, Thorough: *thorough}, nil
+	return ids, experiments.Options{Seed: *seed, Thorough: *thorough, Workers: *workers}, nil
 }
 
 func cmdPipeline(args []string) error {
@@ -118,6 +122,8 @@ func cmdPipeline(args []string) error {
 	points := fs.Int("points", 30, "profiling conditions")
 	load := fs.Float64("load", 0.9, "evaluation load (ρ)")
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"parallel workers; results are identical at any count (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,7 +139,7 @@ func cmdPipeline(args []string) error {
 
 	fmt.Printf("profiling %s + %s over %d conditions...\n", ka.Name, kb.Name, *points)
 	ds, err := stac.Profile(stac.ProfileOptions{
-		KernelA: ka, KernelB: kb, Points: *points, Seed: *seed,
+		KernelA: ka, KernelB: kb, Points: *points, Seed: *seed, Workers: *workers,
 	})
 	if err != nil {
 		return err
@@ -141,7 +147,7 @@ func cmdPipeline(args []string) error {
 	fmt.Printf("collected %d profile rows\n", ds.Len())
 
 	fmt.Println("training deep-forest pipeline...")
-	pred, err := stac.Train(ds, stac.TrainOptions{Seed: *seed + 1})
+	pred, err := stac.Train(ds, stac.TrainOptions{Seed: *seed + 1, Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"stac/internal/gbm"
 	"stac/internal/linreg"
 	"stac/internal/neural"
+	"stac/internal/par"
 	"stac/internal/profile"
 	"stac/internal/queueing"
 	"stac/internal/stats"
@@ -161,17 +162,30 @@ func QueueOnlyPredict(s Scenario) (Prediction, error) {
 // We also compare our approach to competing modeling approaches using
 // the same methodology").
 func EvaluateResponseModel(m ResponseModel, library, test profile.Dataset, servers int) ([]float64, error) {
+	return EvaluateResponseModelParallel(m, library, test, servers, 1)
+}
+
+// EvaluateResponseModelParallel is EvaluateResponseModel with rows
+// distributed over up to workers goroutines (0 = GOMAXPROCS). Each
+// row's error lands in its own slot, so the result is identical at any
+// worker count.
+func EvaluateResponseModelParallel(m ResponseModel, library, test profile.Dataset, servers, workers int) ([]float64, error) {
 	builder, err := NewInputBuilder(library)
 	if err != nil {
 		return nil, err
 	}
 	errs := make([]float64, test.Len())
-	for i, r := range test.Rows {
+	err = par.ForEach(workers, test.Len(), func(i int) error {
+		r := test.Rows[i]
 		input, err := builder.Build(ScenarioFromRow(r, servers))
 		if err != nil {
-			return nil, fmt.Errorf("core: row %d: %w", i, err)
+			return fmt.Errorf("core: row %d: %w", i, err)
 		}
 		errs[i] = stats.APE(r.RespMean, m.Predict(input))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return errs, nil
 }
@@ -180,13 +194,26 @@ func EvaluateResponseModel(m ResponseModel, library, test profile.Dataset, serve
 // full pipeline on held-out rows, reconstructing each row's scenario and
 // predicting without its observed profile.
 func EvaluatePredictor(p *Predictor, test profile.Dataset, servers int) ([]float64, error) {
+	return EvaluatePredictorParallel(p, test, servers, 1)
+}
+
+// EvaluatePredictorParallel is EvaluatePredictor with rows distributed
+// over up to workers goroutines (0 = GOMAXPROCS). A constructed
+// Predictor is immutable, so concurrent PredictResponse calls are safe;
+// per-row errors land in index-addressed slots and the result is
+// identical at any worker count.
+func EvaluatePredictorParallel(p *Predictor, test profile.Dataset, servers, workers int) ([]float64, error) {
 	errs := make([]float64, test.Len())
-	for i, r := range test.Rows {
-		pred, err := p.PredictResponse(ScenarioFromRow(r, servers))
+	err := par.ForEach(workers, test.Len(), func(i int) error {
+		pred, err := p.PredictResponse(ScenarioFromRow(test.Rows[i], servers))
 		if err != nil {
-			return nil, fmt.Errorf("core: row %d: %w", i, err)
+			return fmt.Errorf("core: row %d: %w", i, err)
 		}
-		errs[i] = stats.APE(r.RespMean, pred.MeanResponse)
+		errs[i] = stats.APE(test.Rows[i].RespMean, pred.MeanResponse)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return errs, nil
 }
@@ -194,13 +221,24 @@ func EvaluatePredictor(p *Predictor, test profile.Dataset, servers int) ([]float
 // EvaluateQueueOnly computes per-row errors for the queueing-only
 // baseline.
 func EvaluateQueueOnly(test profile.Dataset, servers int) ([]float64, error) {
+	return EvaluateQueueOnlyParallel(test, servers, 1)
+}
+
+// EvaluateQueueOnlyParallel is EvaluateQueueOnly over up to workers
+// goroutines (0 = GOMAXPROCS); results are identical at any worker
+// count.
+func EvaluateQueueOnlyParallel(test profile.Dataset, servers, workers int) ([]float64, error) {
 	errs := make([]float64, test.Len())
-	for i, r := range test.Rows {
-		pred, err := QueueOnlyPredict(ScenarioFromRow(r, servers))
+	err := par.ForEach(workers, test.Len(), func(i int) error {
+		pred, err := QueueOnlyPredict(ScenarioFromRow(test.Rows[i], servers))
 		if err != nil {
-			return nil, fmt.Errorf("core: row %d: %w", i, err)
+			return fmt.Errorf("core: row %d: %w", i, err)
 		}
-		errs[i] = stats.APE(r.RespMean, pred.MeanResponse)
+		errs[i] = stats.APE(test.Rows[i].RespMean, pred.MeanResponse)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return errs, nil
 }

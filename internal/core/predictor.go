@@ -116,7 +116,10 @@ type Prediction struct {
 	BoostedFrac float64
 }
 
-// Predictor is the trained model-driven pipeline.
+// Predictor is the trained model-driven pipeline. Once constructed it
+// is immutable — concurrent Predict*/Evaluate* calls are safe — except
+// for ClearCorrections, which must not run concurrently with
+// predictions.
 type Predictor struct {
 	model   EAModel
 	builder *InputBuilder

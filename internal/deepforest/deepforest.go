@@ -58,6 +58,10 @@ type Config struct {
 	MaxMGSInstances int
 	// ThresholdSamples configures the fast splitter (0 = exact CART).
 	ThresholdSamples int
+	// Workers bounds per-forest training parallelism (0 = GOMAXPROCS,
+	// 1 = fully sequential). Trained models are identical at any worker
+	// count.
+	Workers int
 }
 
 // DefaultConfig returns the paper-faithful configuration: four grains at
@@ -248,6 +252,7 @@ func cascadeForestConfig(cfg Config, f int) forest.Config {
 	}
 	fc.Tree.MaxDepth = cfg.MaxDepth
 	fc.Tree.ThresholdSamples = cfg.ThresholdSamples
+	fc.Workers = cfg.Workers
 	if f%2 == 1 {
 		fc.Tree.ThresholdSamples = 0 // completely-random trees need none
 	}
@@ -296,6 +301,7 @@ func trainGrain(x [][]float64, y []float64, cfg Config, win WindowConfig, rng *s
 	fc := forest.RandomForest(win.Trees)
 	fc.Tree.MaxDepth = cfg.MGSMaxDepth
 	fc.Tree.ThresholdSamples = cfg.ThresholdSamples
+	fc.Workers = cfg.Workers
 	var err error
 	g.forest, err = forest.Train(xs, ys, fc, rng)
 	if err != nil {

@@ -146,7 +146,7 @@ func TestReorderDatasetInvertible(t *testing.T) {
 	if testing.Short() {
 		t.Skip("requires profile collection")
 	}
-	ds, err := collectPair(pairSpec{"knn", "redis"}, 4, 40, 0, 3)
+	ds, err := collectPair(pairSpec{"knn", "redis"}, 4, 40, 0, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

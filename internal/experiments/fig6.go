@@ -5,6 +5,7 @@ import (
 
 	"stac/internal/core"
 	"stac/internal/neural"
+	"stac/internal/par"
 	"stac/internal/profile"
 	"stac/internal/stats"
 )
@@ -36,14 +37,20 @@ func Fig6(opts Options) (*Report, error) {
 		{"jacobi", "knn"},
 	}
 
-	var oursErrs, queueErrs []float64
-	pooledTrain := profile.Dataset{}
-	pooledTest := profile.Dataset{}
-	for pi, pair := range pairs {
+	// Per-pair results land in index-addressed slots; the fan-in below
+	// walks them in pair order, so the pooled sets and error samples are
+	// identical at any worker count.
+	type pairResult struct {
+		compTrain, compTest profile.Dataset
+		oursErrs, queueErrs []float64
+	}
+	perPair := make([]pairResult, len(pairs))
+	if err := par.ForEach(opts.Workers, len(pairs), func(pi int) error {
+		pair := pairs[pi]
 		seed := opts.Seed + uint64(pi)*101
-		ds, err := collectPair(pair, nPoints, queries, 0, seed)
+		ds, err := collectPair(pair, nPoints, queries, 0, seed, opts.Workers)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Our split: 33 % of conditions. Competitors: 70 %.
@@ -55,32 +62,45 @@ func Fig6(opts Options) (*Report, error) {
 		// Keep condition ids distinct across pairs in the pooled sets.
 		offsetCondIDs(&compTrain, pi*1_000_000)
 		offsetCondIDs(&compTest, pi*1_000_000)
-		if pooledTrain.Len() == 0 {
-			pooledTrain.Schema = compTrain.Schema
-			pooledTest.Schema = compTest.Schema
-		}
-		if err := pooledTrain.Append(compTrain); err != nil {
-			return nil, err
-		}
-		if err := pooledTest.Append(compTest); err != nil {
-			return nil, err
-		}
+		perPair[pi].compTrain = compTrain
+		perPair[pi].compTest = compTest
 
 		p, _, _, err := trainPipeline(ourTrain, opts, seed+3)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		es, err := core.EvaluatePredictor(p, ourTest, 2)
+		es, err := core.EvaluatePredictorParallel(p, ourTest, 2, opts.Workers)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		oursErrs = append(oursErrs, es...)
+		perPair[pi].oursErrs = es
 
-		qs, err := core.EvaluateQueueOnly(ourTest, 2)
+		qs, err := core.EvaluateQueueOnlyParallel(ourTest, 2, opts.Workers)
 		if err != nil {
+			return err
+		}
+		perPair[pi].queueErrs = qs
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var oursErrs, queueErrs []float64
+	pooledTrain := profile.Dataset{}
+	pooledTest := profile.Dataset{}
+	for _, pr := range perPair {
+		if pooledTrain.Len() == 0 {
+			pooledTrain.Schema = pr.compTrain.Schema
+			pooledTest.Schema = pr.compTest.Schema
+		}
+		if err := pooledTrain.Append(pr.compTrain); err != nil {
 			return nil, err
 		}
-		queueErrs = append(queueErrs, qs...)
+		if err := pooledTest.Append(pr.compTest); err != nil {
+			return nil, err
+		}
+		oursErrs = append(oursErrs, pr.oursErrs...)
+		queueErrs = append(queueErrs, pr.queueErrs...)
 	}
 
 	// Competitors: one model over the pooled training data.
@@ -88,7 +108,7 @@ func Fig6(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	linErrs, err := core.EvaluateResponseModel(lin, pooledTrain, pooledTest, 2)
+	linErrs, err := core.EvaluateResponseModelParallel(lin, pooledTrain, pooledTest, 2, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +118,7 @@ func Fig6(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	treeErrs, err := core.EvaluateResponseModel(tree, pooledTrain, pooledTest, 2)
+	treeErrs, err := core.EvaluateResponseModelParallel(tree, pooledTrain, pooledTest, 2, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +135,7 @@ func Fig6(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	cnnErrs, err := core.EvaluateResponseModel(cnn, pooledTrain, pooledTest, 2)
+	cnnErrs, err := core.EvaluateResponseModelParallel(cnn, pooledTrain, pooledTest, 2, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"stac/internal/core"
 	"stac/internal/counters"
 	"stac/internal/deepforest"
+	"stac/internal/par"
 	"stac/internal/profile"
 	"stac/internal/stats"
 	"stac/internal/testbed"
@@ -38,18 +39,27 @@ func Fig7a(opts Options) (*Report, error) {
 		Title:   "Prediction error per collocation (median APE)",
 		Columns: []string{"collocation", "median APE", "n"},
 	}
-	worst := 0.0
-	for pi, pair := range pairs {
+	// Each pair's bars accumulate into its own slot; the fan-in walks
+	// slots in pair order so row order and the worst-case note match the
+	// sequential harness exactly.
+	type bar struct {
+		label string
+		med   float64
+		n     int
+	}
+	perPair := make([][]bar, len(pairs))
+	if err := par.ForEach(opts.Workers, len(pairs), func(pi int) error {
+		pair := pairs[pi]
 		seed := opts.Seed + uint64(pi)*503
-		ds, err := collectPair(pair, nPoints, queries, 0, seed)
+		ds, err := collectPair(pair, nPoints, queries, 0, seed, opts.Workers)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		train, test := ds.SplitByCondition(0.5, seed+1)
 		test = test.AggregateByCondition()
 		p, _, _, err := trainPipeline(train, opts, seed+2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, svc := range []string{pair.a, pair.b} {
 			other := pair.a
@@ -60,17 +70,27 @@ func Fig7a(opts Options) (*Report, error) {
 			if sub.Len() == 0 {
 				continue
 			}
-			errs, err := core.EvaluatePredictor(p, sub, 2)
+			errs, err := core.EvaluatePredictorParallel(p, sub, 2, opts.Workers)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			med := stats.Median(errs)
-			if med > worst {
-				worst = med
-			}
-			rep.Rows = append(rep.Rows, []string{
-				fmt.Sprintf("%s(%s)", svc, other), pct(med), strconv.Itoa(sub.Len()),
+			perPair[pi] = append(perPair[pi], bar{
+				label: fmt.Sprintf("%s(%s)", svc, other),
+				med:   stats.Median(errs),
+				n:     sub.Len(),
 			})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	worst := 0.0
+	for _, bars := range perPair {
+		for _, b := range bars {
+			if b.med > worst {
+				worst = b.med
+			}
+			rep.Rows = append(rep.Rows, []string{b.label, pct(b.med), strconv.Itoa(b.n)})
 		}
 	}
 	rep.Notes = append(rep.Notes,
@@ -115,49 +135,68 @@ func Fig7b(opts Options) (*Report, error) {
 		Title:   "Prediction error across processor cache sizes",
 		Columns: []string{"processor", "LLC MB", "workloads", "median APE", "n"},
 	}
-	for pi, plat := range fig7bPlatforms() {
+	platforms := fig7bPlatforms()
+	rows := make([][]string, len(platforms))
+	if err := par.ForEach(opts.Workers, len(platforms), func(pi int) error {
+		plat := platforms[pi]
 		seed := opts.Seed + uint64(pi)*811
+		// The condition-generation rng is private to this platform, so
+		// concurrent platforms don't perturb each other's draws.
 		rng := stats.NewRNG(seed)
-		ds := profile.Dataset{Schema: profile.DefaultSchema()}
+		conds := make([]testbed.Condition, runs)
 		for run := 0; run < runs; run++ {
-			cond := chainCondition(plat.proc, kernels, plat.services,
+			conds[run] = chainCondition(plat.proc, kernels, plat.services,
 				plat.privateWays, plat.sharedWays, queries, rng, seed+uint64(run)*37)
-			res, err := testbed.Run(cond)
+		}
+		ds := profile.Dataset{Schema: profile.DefaultSchema()}
+		perRun := make([][]profile.Row, runs)
+		if err := par.ForEach(opts.Workers, runs, func(run int) error {
+			res, err := testbed.Run(conds[run])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for svcIdx := range res.Services {
 				rows, err := profile.BuildRows(ds.Schema, res, svcIdx)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				for r := range rows {
 					rows[r].CondID = run
 				}
-				ds.Rows = append(ds.Rows, rows...)
+				perRun[run] = append(perRun[run], rows...)
 			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		for _, rs := range perRun {
+			ds.Rows = append(ds.Rows, rs...)
 		}
 		train, test := ds.SplitByCondition(0.5, seed+1)
 		test = test.AggregateByCondition()
 		if train.Len() == 0 || test.Len() == 0 {
-			return nil, fmt.Errorf("fig7b: empty split for %s", plat.proc.Name)
+			return fmt.Errorf("fig7b: empty split for %s", plat.proc.Name)
 		}
 		p, _, _, err := trainPipeline(train, opts, seed+2)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		errs, err := core.EvaluatePredictor(p, test, 2)
+		errs, err := core.EvaluatePredictorParallel(p, test, 2, opts.Workers)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep.Rows = append(rep.Rows, []string{
+		rows[pi] = []string{
 			plat.proc.Name,
 			strconv.Itoa(plat.proc.LLCMegabytes),
 			strconv.Itoa(plat.services),
 			pct(stats.Median(errs)),
 			strconv.Itoa(len(errs)),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	rep.Rows = append(rep.Rows, rows...)
 	rep.Notes = append(rep.Notes,
 		"paper: median error below 15% on all five platforms (20-72 MB LLC)")
 	return rep, nil
@@ -175,11 +214,11 @@ func Fig7c(opts Options) (*Report, error) {
 
 	// Two collections that differ only in sampling period: the baseline
 	// (testbed default) and a 5x coarser one.
-	base, err := collectPair(pair, nPoints, queries, 0, seed)
+	base, err := collectPair(pair, nPoints, queries, 0, seed, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
-	coarse, err := collectPair(pair, nPoints, queries, 5*50e-6, seed)
+	coarse, err := collectPair(pair, nPoints, queries, 5*50e-6, seed, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +238,7 @@ func Fig7c(opts Options) (*Report, error) {
 		if err != nil {
 			return 0, err
 		}
-		errs, err := core.EvaluatePredictor(p, test, 2)
+		errs, err := core.EvaluatePredictorParallel(p, test, 2, opts.Workers)
 		if err != nil {
 			return 0, err
 		}
@@ -211,49 +250,43 @@ func Fig7c(opts Options) (*Report, error) {
 		Title:   "Multi-grain scanning ablation (median APE)",
 		Columns: []string{"setting", "median APE"},
 	}
-	addRow := func(name string, v float64, err error) error {
+
+	// Shuffled counter order destroys spatial locality; the other
+	// variants perturb the learner config. Each ablation is independent,
+	// so they fan out; medians land in variant order.
+	variants := []struct {
+		name   string
+		ds     profile.Dataset
+		mutate func(*deepforest.Config)
+	}{
+		{"baseline (spatial order, 4 windows)", base, nil},
+		{"random counter order", reorderDataset(base, counters.ShuffledOrder(seed)), nil},
+		{"small windows (3x3 only)", base, func(c *deepforest.Config) {
+			c.Windows = []deepforest.WindowConfig{{Size: 3, Stride: 6, Trees: c.Windows[0].Trees}}
+		}},
+		// Few estimators: the paper observes accuracy degrades toward
+		// the queue-model-only level.
+		{"few estimators (2 trees/forest)", base, func(c *deepforest.Config) {
+			for i := range c.Windows {
+				c.Windows[i].Trees = 2
+			}
+			c.CascadeTrees = 2
+		}},
+		{"coarse counter sampling (5x period)", coarse, nil},
+	}
+	meds := make([]float64, len(variants))
+	if err := par.ForEach(opts.Workers, len(variants), func(i int) error {
+		m, err := evalDS(variants[i].ds, variants[i].mutate)
 		if err != nil {
 			return err
 		}
-		rep.Rows = append(rep.Rows, []string{name, pct(v)})
+		meds[i] = m
 		return nil
-	}
-
-	baseErr, err := evalDS(base, nil)
-	if err := addRow("baseline (spatial order, 4 windows)", baseErr, err); err != nil {
+	}); err != nil {
 		return nil, err
 	}
-
-	// Shuffled counter order destroys spatial locality.
-	shuffled := reorderDataset(base, counters.ShuffledOrder(seed))
-	shufErr, err := evalDS(shuffled, nil)
-	if err := addRow("random counter order", shufErr, err); err != nil {
-		return nil, err
-	}
-
-	// Smaller windows: fewer representational features.
-	smallErr, err := evalDS(base, func(c *deepforest.Config) {
-		c.Windows = []deepforest.WindowConfig{{Size: 3, Stride: 6, Trees: c.Windows[0].Trees}}
-	})
-	if err := addRow("small windows (3x3 only)", smallErr, err); err != nil {
-		return nil, err
-	}
-
-	// Few estimators: the paper observes accuracy degrades toward the
-	// queue-model-only level.
-	tinyErr, err := evalDS(base, func(c *deepforest.Config) {
-		for i := range c.Windows {
-			c.Windows[i].Trees = 2
-		}
-		c.CascadeTrees = 2
-	})
-	if err := addRow("few estimators (2 trees/forest)", tinyErr, err); err != nil {
-		return nil, err
-	}
-
-	coarseErr, err := evalDS(coarse, nil)
-	if err := addRow("coarse counter sampling (5x period)", coarseErr, err); err != nil {
-		return nil, err
+	for i, v := range variants {
+		rep.Rows = append(rep.Rows, []string{v.name, pct(meds[i])})
 	}
 
 	rep.Notes = append(rep.Notes,

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"stac/internal/core"
+	"stac/internal/par"
 	"stac/internal/policy"
 	"stac/internal/stats"
 )
@@ -33,7 +34,7 @@ func fig8Suites() []pairSpec {
 // that separates good from bad timeouts there.
 func fig8Pipeline(pair pairSpec, opts Options, seed uint64) (*core.Predictor, core.Scenario, core.Scenario, error) {
 	nPoints, queries := datasetScale(opts)
-	ds, err := collectPairHighLoad(pair, nPoints, queries, seed)
+	ds, err := collectPairHighLoad(pair, nPoints, queries, seed, opts.Workers)
 	if err != nil {
 		return nil, core.Scenario{}, core.Scenario{}, err
 	}
@@ -63,14 +64,23 @@ func Fig8(opts Options) (*Report, error) {
 		Columns: []string{"collocation", "policy", "speedup A", "speedup B", "timeouts"},
 	}
 
-	var oursAll, dcatAll, dynaAll, staticAll []float64
-	for si, pair := range fig8Suites() {
+	// One slot per suite: each holds the rendered rows plus the per-policy
+	// speedups the aggregate notes need. Fan-in in suite order keeps the
+	// table and the geomean inputs byte-for-byte stable.
+	type suiteResult struct {
+		rows                     [][]string
+		static, dcat, dyna, ours []float64
+	}
+	suites := fig8Suites()
+	perSuite := make([]suiteResult, len(suites))
+	if err := par.ForEach(opts.Workers, len(suites), func(si int) error {
+		pair := suites[si]
 		seed := opts.Seed + uint64(si)*4099
 		ctx := policy.PairContext{Seed: seed}
 		var err error
 		ctx.KernelA, ctx.KernelB, err = pair.kernels()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ctx = ctx.Defaults()
 		if !opts.Thorough {
@@ -79,51 +89,63 @@ func Fig8(opts Options) (*Report, error) {
 
 		p, sa, sb, err := fig8Pipeline(pair, opts, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		decisions := make([]policy.Decision, 0, 4)
 		static, err := policy.Static(ctx)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		decisions = append(decisions, static)
 		dcat, err := policy.DCat(ctx)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		decisions = append(decisions, dcat)
 		dyna, err := policy.DynaSprint(ctx)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		decisions = append(decisions, dyna)
 		ours, err := policy.ModelDriven(p, sa, sb, policy.SearchOptions{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		decisions = append(decisions, ours)
 
+		res := &perSuite[si]
 		for _, d := range decisions {
 			sp, err := policy.Speedups(ctx, d)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			rep.Rows = append(rep.Rows, []string{
+			res.rows = append(res.rows, []string{
 				pair.String(), d.Name, ratio(sp[0]), ratio(sp[1]),
 				fmt.Sprintf("(%.2g, %.2g)", d.TimeoutA, d.TimeoutB),
 			})
 			switch d.Name {
 			case "static":
-				staticAll = append(staticAll, sp[0], sp[1])
+				res.static = append(res.static, sp[0], sp[1])
 			case "dCat":
-				dcatAll = append(dcatAll, sp[0], sp[1])
+				res.dcat = append(res.dcat, sp[0], sp[1])
 			case "dynaSprint":
-				dynaAll = append(dynaAll, sp[0], sp[1])
+				res.dyna = append(res.dyna, sp[0], sp[1])
 			case "model driven":
-				oursAll = append(oursAll, sp[0], sp[1])
+				res.ours = append(res.ours, sp[0], sp[1])
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var oursAll, dcatAll, dynaAll, staticAll []float64
+	for _, res := range perSuite {
+		rep.Rows = append(rep.Rows, res.rows...)
+		staticAll = append(staticAll, res.static...)
+		dcatAll = append(dcatAll, res.dcat...)
+		dynaAll = append(dynaAll, res.dyna...)
+		oursAll = append(oursAll, res.ours...)
 	}
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("geometric-mean speedups — static %s, dCat %s, dynaSprint %s, ours %s",
@@ -166,43 +188,46 @@ func Fig8e(opts Options) (*Report, error) {
 	}
 	nPoints, queries := datasetScale(opts)
 
-	for si, pair := range fig8Suites() {
+	suites := fig8Suites()
+	perSuite := make([][][]string, len(suites))
+	if err := par.ForEach(opts.Workers, len(suites), func(si int) error {
+		pair := suites[si]
 		seed := opts.Seed + uint64(si)*6151
 		ctx := policy.PairContext{Seed: seed}
 		var err error
 		ctx.KernelA, ctx.KernelB, err = pair.kernels()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ctx = ctx.Defaults()
 		if !opts.Thorough {
 			ctx.QueriesPerService = 160
 		}
 
-		ds, err := collectPairHighLoad(pair, nPoints, queries, seed)
+		ds, err := collectPairHighLoad(pair, nPoints, queries, seed, opts.Workers)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sa, err := policy.ScenarioTemplate(ds, pair.a, 0.9, 0.9)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sb, err := policy.ScenarioTemplate(ds, pair.b, 0.9, 0.9)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		deepP, _, _, err := trainPipeline(ds, opts, seed+1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rf, err := core.TrainForestEA(ds, 40, stats.NewRNG(seed+2))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		simpleP, err := core.NewPredictor(rf, ds, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		for _, m := range []struct {
@@ -211,17 +236,23 @@ func Fig8e(opts Options) (*Report, error) {
 		}{{"deep forest", deepP}, {"simple ML", simpleP}} {
 			d, err := policy.ModelDriven(m.p, sa, sb, policy.SearchOptions{})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sp, err := policy.Speedups(ctx, d)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			rep.Rows = append(rep.Rows, []string{
+			perSuite[si] = append(perSuite[si], []string{
 				pair.String(), m.name, ratio(sp[0]), ratio(sp[1]),
 				fmt.Sprintf("(%.2g, %.2g)", d.TimeoutA, d.TimeoutB),
 			})
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, rows := range perSuite {
+		rep.Rows = append(rep.Rows, rows...)
 	}
 	rep.Notes = append(rep.Notes,
 		"paper: simple ML can match dynaSprint and beat dCat, but the deep-forest search finds better balances")

@@ -23,7 +23,7 @@ func init() {
 func Importance(opts Options) (*Report, error) {
 	opts = opts.defaults()
 	nPoints, queries := datasetScale(opts)
-	ds, err := collectPair(pairSpec{"redis", "bfs"}, nPoints, queries, 0, opts.Seed+17000)
+	ds, err := collectPair(pairSpec{"redis", "bfs"}, nPoints, queries, 0, opts.Seed+17000, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -26,7 +26,7 @@ func init() {
 func Insight(opts Options) (*Report, error) {
 	opts = opts.defaults()
 	nPoints, queries := datasetScale(opts)
-	ds, err := collectPair(pairSpec{"redis", "social"}, nPoints, queries, 0, opts.Seed+11000)
+	ds, err := collectPair(pairSpec{"redis", "social"}, nPoints, queries, 0, opts.Seed+11000, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"stac/internal/core"
+	"stac/internal/par"
 	"stac/internal/profile"
 	"stac/internal/stats"
 )
@@ -24,7 +25,7 @@ func Overhead(opts Options) (*Report, error) {
 	nPoints, queries := datasetScale(opts)
 	// Collect a full-size dataset once, then emulate smaller budgets by
 	// truncation (profiles arrive in collection order).
-	full, err := collectPair(pairSpec{"redis", "bfs"}, nPoints*2, queries, 0, opts.Seed+9000)
+	full, err := collectPair(pairSpec{"redis", "bfs"}, nPoints*2, queries, 0, opts.Seed+9000, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -44,23 +45,27 @@ func Overhead(opts Options) (*Report, error) {
 		Title:   "Prediction error vs profiling time budget",
 		Columns: []string{"profiling budget", "training rows", "median APE"},
 	}
-	for _, b := range budgets {
+	rows := make([][]string, len(budgets))
+	if err := par.ForEach(opts.Workers, len(budgets), func(bi int) error {
+		b := budgets[bi]
 		sub := train.Truncate(int(b.frac * float64(train.Len())))
 		if sub.Len() < 4 {
-			return nil, fmt.Errorf("overhead: budget %q leaves too few rows", b.name)
+			return fmt.Errorf("overhead: budget %q leaves too few rows", b.name)
 		}
 		p, _, _, err := trainPipeline(sub, opts, opts.Seed+9002)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		errs, err := core.EvaluatePredictor(p, test, 2)
+		errs, err := core.EvaluatePredictorParallel(p, test, 2, opts.Workers)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep.Rows = append(rep.Rows, []string{
-			b.name, strconv.Itoa(sub.Len()), pct(stats.Median(errs)),
-		})
+		rows[bi] = []string{b.name, strconv.Itoa(sub.Len()), pct(stats.Median(errs))}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	rep.Rows = append(rep.Rows, rows...)
 	rep.Notes = append(rep.Notes,
 		"paper: 15 min -> 14% error, 30 min -> 11%, 2.5 h -> 8.6%; queueing structure bounds error at low budgets")
 	return rep, nil
@@ -83,6 +88,7 @@ func Sampling(opts Options) (*Report, error) {
 		KernelA: ka, KernelB: kb,
 		QueriesPerService: queries,
 		Seed:              seed,
+		Workers:           opts.Workers,
 	}
 
 	// A common, larger test pool from uniform sampling with a different
@@ -90,6 +96,7 @@ func Sampling(opts Options) (*Report, error) {
 	testPts := profile.UniformPoints(nPoints, stats.NewRNG(seed+1))
 	testDS, err := profile.Collect(profile.CollectOptions{
 		KernelA: ka, KernelB: kb, QueriesPerService: queries, Seed: seed + 2,
+		Workers: opts.Workers,
 	}, testPts)
 	if err != nil {
 		return nil, err
@@ -98,33 +105,40 @@ func Sampling(opts Options) (*Report, error) {
 
 	budget := nPoints / 2
 	uniformPts := profile.UniformPoints(budget, stats.NewRNG(seed+3))
-	stratPts := profile.StratifiedPoints(budget, budget/3, 4, func(pt profile.Point) float64 {
+	stratPts := profile.StratifiedPointsParallel(budget, budget/3, 4, func(pt profile.Point) float64 {
 		return profile.EvalEA(copts, pt)
-	}, stats.NewRNG(seed+4))
+	}, stats.NewRNG(seed+4), opts.Workers)
 
 	rep := &Report{
 		ID:      "sampling",
 		Title:   "Stratified vs uniform condition sampling (equal budget)",
 		Columns: []string{"sampler", "points", "median APE"},
 	}
-	for _, s := range []struct {
+	samplers := []struct {
 		name string
 		pts  []profile.Point
-	}{{"uniform", uniformPts}, {"stratified", stratPts}} {
+	}{{"uniform", uniformPts}, {"stratified", stratPts}}
+	srows := make([][]string, len(samplers))
+	if err := par.ForEach(opts.Workers, len(samplers), func(si int) error {
+		s := samplers[si]
 		ds, err := profile.Collect(copts, s.pts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p, _, _, err := trainPipeline(ds, opts, seed+5)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		errs, err := core.EvaluatePredictor(p, testDS, 2)
+		errs, err := core.EvaluatePredictorParallel(p, testDS, 2, opts.Workers)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep.Rows = append(rep.Rows, []string{s.name, strconv.Itoa(len(s.pts)), pct(stats.Median(errs))})
+		srows[si] = []string{s.name, strconv.Itoa(len(s.pts)), pct(stats.Median(errs))}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	rep.Rows = append(rep.Rows, srows...)
 	rep.Notes = append(rep.Notes,
 		"paper: stratified sampling reduced profiling time by 67% at equal accuracy",
 		"at this scaled budget the effect does not reproduce: neighbour-based input",

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"stac/internal/profile"
+)
+
+// TestReportRenderRaggedRows exercises rows both wider and narrower than
+// the header. Before the widths guard in Render's line(), a row with more
+// cells than columns panicked with an index-out-of-range on widths[i].
+func TestReportRenderRaggedRows(t *testing.T) {
+	rep := &Report{
+		ID:      "ragged",
+		Title:   "ragged rows",
+		Columns: []string{"a", "bb"},
+		Rows: [][]string{
+			{"1", "2", "extra", "cells"}, // wider than the header
+			{"only"},                     // narrower than the header
+			{"x", "y"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"extra", "cells", "only"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render lost ragged cell %q in:\n%s", want, out)
+		}
+	}
+}
+
+// renderReport runs one experiment and returns its rendered bytes.
+func renderReport(t *testing.T, id string, opts Options) string {
+	t.Helper()
+	rep, err := Run(id, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestFig6DeterministicAcrossWorkerCounts is the harness's determinism
+// contract: for a fixed seed the rendered report is byte-identical whether
+// the experiment runs sequentially or fanned out over 8 workers. The
+// dataset cache is cleared between runs so the parallel run re-executes
+// collection rather than replaying the sequential run's datasets. fig6 has
+// no wall-clock columns, so full byte equality must hold.
+func TestFig6DeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment generators are slow")
+	}
+	scale := [2]int{6, 40}
+	opts := Options{Seed: 17, Workers: 1, scale: &scale}
+
+	resetDatasetCache()
+	seq := renderReport(t, "fig6", opts)
+
+	resetDatasetCache()
+	opts.Workers = 8
+	par := renderReport(t, "fig6", opts)
+
+	if seq != par {
+		t.Fatalf("fig6 report differs between Workers=1 and Workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestCollectPairSingleflight issues the same collectPair key from many
+// goroutines at once and checks that the testbed simulation ran exactly
+// once: every caller must get a dataset backed by the same Rows array.
+func TestCollectPairSingleflight(t *testing.T) {
+	resetDatasetCache()
+	const callers = 8
+	got := make([]profile.Dataset, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ds, err := collectPair(pairSpec{"knn", "redis"}, 4, 40, 0, 3, 2)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			got[i] = ds
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 1; i < callers; i++ {
+		if len(got[i].Rows) == 0 || &got[i].Rows[0] != &got[0].Rows[0] {
+			t.Fatalf("caller %d received a different dataset copy; cache did not singleflight", i)
+		}
+	}
+}
+
+// TestRunConcurrent drives two generators that share dataset-cache entries
+// from concurrent goroutines; under -race this verifies Run's concurrency
+// contract end to end (registry reads, cache singleflight, parallel
+// collection and evaluation).
+func TestRunConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment generators are slow")
+	}
+	resetDatasetCache()
+	scale := [2]int{6, 40}
+	var wg sync.WaitGroup
+	for _, id := range []string{"stage3", "importance", "table2"} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if _, err := Run(id, Options{Seed: 23, Workers: 2, scale: &scale}); err != nil {
+				t.Errorf("%s: %v", id, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+}

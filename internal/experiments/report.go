@@ -55,7 +55,13 @@ func (r *Report) Render(w io.Writer) error {
 				b.WriteString("  ")
 			}
 			b.WriteString(c)
-			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+			// Rows may be ragged: cells beyond the header columns have
+			// no computed width and render unpadded.
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			if pad := w - len(c); pad > 0 && i < len(cells)-1 {
 				b.WriteString(strings.Repeat(" ", pad))
 			}
 		}
@@ -99,6 +105,18 @@ type Options struct {
 	// Thorough enlarges datasets and model budgets several-fold. The
 	// default (false) is the scaled configuration.
 	Thorough bool
+	// Workers bounds the harness's parallelism across independent
+	// experiment units — collocation pairs, repeated trainings,
+	// profiled conditions and held-out evaluation rows (0 = GOMAXPROCS,
+	// 1 = fully sequential). Per-task RNG streams are derived before
+	// dispatch, so for a fixed Seed the rendered report is byte-
+	// identical at any worker count (wall-clock columns such as fig5's
+	// training times excepted — they measure real elapsed time).
+	Workers int
+
+	// scale overrides datasetScale's (points, queries) sizing. Test
+	// seam: the determinism regression test shrinks fig6 with it.
+	scale *[2]int
 }
 
 func (o Options) defaults() Options {
@@ -112,7 +130,9 @@ func (o Options) defaults() Options {
 type Generator func(Options) (*Report, error)
 
 // registry maps experiment ids to generators; see register calls in the
-// per-experiment files.
+// per-experiment files. It is written only from init functions (a
+// single goroutine, before main) and read-only afterwards, so IDs and
+// Run are safe for concurrent use.
 var registry = map[string]Generator{}
 
 func register(id string, g Generator) {
@@ -132,7 +152,10 @@ func IDs() []string {
 	return out
 }
 
-// Run generates the report for one experiment id.
+// Run generates the report for one experiment id. Run is safe for
+// concurrent use: generators share no mutable state beyond the
+// synchronised dataset cache (see helpers.go), and Options is passed by
+// value.
 func Run(id string, opts Options) (*Report, error) {
 	g, ok := registry[id]
 	if !ok {

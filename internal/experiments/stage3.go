@@ -6,6 +6,7 @@ import (
 
 	"stac/internal/core"
 	"stac/internal/gbm"
+	"stac/internal/par"
 	"stac/internal/profile"
 	"stac/internal/stats"
 )
@@ -22,7 +23,7 @@ func init() {
 func Stage3Ablation(opts Options) (*Report, error) {
 	opts = opts.defaults()
 	nPoints, queries := datasetScale(opts)
-	ds, err := collectPair(pairSpec{"redis", "bfs"}, nPoints, queries, 0, opts.Seed+13000)
+	ds, err := collectPair(pairSpec{"redis", "bfs"}, nPoints, queries, 0, opts.Seed+13000, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -34,18 +35,20 @@ func Stage3Ablation(opts Options) (*Report, error) {
 		return nil, err
 	}
 
-	full, err := core.EvaluatePredictor(p, test, 2)
+	// The full evaluation must finish before ClearCorrections strips the
+	// stacking stage — the predictor is immutable only between mutations.
+	full, err := core.EvaluatePredictorParallel(p, test, 2, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
 
 	p.ClearCorrections()
-	noCorr, err := core.EvaluatePredictor(p, test, 2)
+	noCorr, err := core.EvaluatePredictorParallel(p, test, 2, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
 
-	queueOnly, err := core.EvaluateQueueOnly(test, 2)
+	queueOnly, err := core.EvaluateQueueOnlyParallel(test, 2, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +62,7 @@ func Stage3Ablation(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rfErrs, err := core.EvaluatePredictor(rfPred, test, 2)
+	rfErrs, err := core.EvaluatePredictorParallel(rfPred, test, 2, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +74,7 @@ func Stage3Ablation(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	gbErrs, err := core.EvaluatePredictor(gbPred, test, 2)
+	gbErrs, err := core.EvaluatePredictorParallel(gbPred, test, 2, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -79,14 +82,18 @@ func Stage3Ablation(opts Options) (*Report, error) {
 	// Oracle: measured EA at the row's condition; EA at the never-boost
 	// endpoint approximated by the nearest high-timeout condition of the
 	// same service.
-	oracle := make([]float64, 0, test.Len())
-	for _, r := range test.Rows {
+	oracle := make([]float64, test.Len())
+	if err := par.ForEach(opts.Workers, test.Len(), func(i int) error {
+		r := test.Rows[i]
 		s := core.ScenarioFromRow(r, 2)
 		pred, _, err := core.PredictWithEA(s, r.EA, nearestNeverEA(test, r), 8000)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		oracle = append(oracle, stats.APE(r.RespMean, pred.MeanResponse))
+		oracle[i] = stats.APE(r.RespMean, pred.MeanResponse)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	rep := &Report{

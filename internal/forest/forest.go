@@ -2,9 +2,8 @@ package forest
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"stac/internal/par"
 	"stac/internal/stats"
 )
 
@@ -45,8 +44,10 @@ func (f *Forest) NumTrees() int { return len(f.trees) }
 
 // Train fits a forest on the feature matrix x and targets y.
 // Trees are trained in parallel; each tree owns an RNG split
-// deterministically from rng, so results are reproducible regardless of
-// scheduling.
+// deterministically from rng *before* dispatch, so results are
+// reproducible regardless of scheduling. The first tree error cancels
+// dispatch of trees not yet started and is returned tagged with the
+// failing tree's index.
 func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Forest, error) {
 	if cfg.Trees <= 0 {
 		return nil, fmt.Errorf("forest: Trees must be positive, got %d", cfg.Trees)
@@ -54,58 +55,38 @@ func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Forest, err
 	if len(x) == 0 || len(x) != len(y) {
 		return nil, fmt.Errorf("forest: bad training shapes: %d rows, %d targets", len(x), len(y))
 	}
-	n := len(x)
 
 	// Derive per-tree RNGs up front for determinism.
-	rngs := make([]*stats.RNG, cfg.Trees)
-	for i := range rngs {
-		rngs[i] = rng.Split()
-	}
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Trees {
-		workers = cfg.Trees
-	}
-
+	rngs := rng.SplitN(cfg.Trees)
 	trees := make([]*Tree, cfg.Trees)
-	errs := make([]error, cfg.Trees)
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range work {
-				r := rngs[t]
-				idx := make([]int, n)
-				if cfg.Bootstrap {
-					for i := range idx {
-						idx[i] = r.Intn(n)
-					}
-				} else {
-					for i := range idx {
-						idx[i] = i
-					}
-				}
-				trees[t], errs[t] = BuildTree(x, y, idx, cfg.Tree, r)
-			}
-		}()
-	}
-	for t := 0; t < cfg.Trees; t++ {
-		work <- t
-	}
-	close(work)
-	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := par.ForEach(cfg.Workers, cfg.Trees, func(t int) error {
+		return buildForestTree(x, y, cfg, t, rngs[t], trees)
+	}); err != nil {
+		return nil, err
 	}
 	return &Forest{trees: trees}, nil
+}
+
+// buildForestTree grows tree t into trees[t], wrapping any failure with
+// the tree index so parallel training reports which estimator broke.
+func buildForestTree(x [][]float64, y []float64, cfg Config, t int, r *stats.RNG, trees []*Tree) error {
+	n := len(x)
+	idx := make([]int, n)
+	if cfg.Bootstrap {
+		for i := range idx {
+			idx[i] = r.Intn(n)
+		}
+	} else {
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	tree, err := BuildTree(x, y, idx, cfg.Tree, r)
+	if err != nil {
+		return fmt.Errorf("forest: tree %d: %w", t, err)
+	}
+	trees[t] = tree
+	return nil
 }
 
 // Predict returns the ensemble mean for one feature vector.

@@ -265,3 +265,41 @@ func TestBestSplitOnFeatureSeparatesStep(t *testing.T) {
 		t.Fatalf("threshold %v, want 0.5", thresh)
 	}
 }
+
+func TestTrainDeterministicAcrossWorkerCounts(t *testing.T) {
+	x, y := synth(120, 11)
+	cfgs := []Config{RandomForest(12), CompletelyRandomForest(12)}
+	for _, base := range cfgs {
+		var ref *Forest
+		for _, workers := range []int{1, 4} {
+			cfg := base
+			cfg.Workers = workers
+			f, err := Train(x, y, cfg, stats.NewRNG(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = f
+				continue
+			}
+			for i := range x {
+				if f.Predict(x[i]) != ref.Predict(x[i]) {
+					t.Fatalf("row %d: prediction differs between worker counts", i)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildForestTreeErrorCarriesIndex(t *testing.T) {
+	// BuildTree rejects empty inputs; the per-tree wrapper must tag the
+	// failure with the tree index so parallel training is debuggable.
+	trees := make([]*Tree, 8)
+	err := buildForestTree(nil, nil, RandomForest(8), 5, stats.NewRNG(1), trees)
+	if err == nil {
+		t.Fatal("expected an error for empty training data")
+	}
+	if want := "forest: tree 5:"; len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+		t.Fatalf("error %q does not carry the failing tree index", err)
+	}
+}

@@ -1,0 +1,80 @@
+// Package par provides the bounded worker pool that fans out the
+// repository's independent work units: profiled conditions, collocation
+// pairs, repeated trainings and forest trees. Callers derive any
+// per-task randomness (stats.RNG.Split / SplitN) *before* dispatch and
+// write results into index-addressed slots, so outputs are bit-identical
+// regardless of scheduling or worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(0) … fn(n-1), each exactly once, on at most
+// workers goroutines (workers <= 0 uses GOMAXPROCS) and waits for all
+// started tasks to finish. The first error cancels dispatch: tasks not
+// yet handed to a worker never run, tasks already running complete.
+// ForEach returns the error of the lowest-index failed task, so the
+// reported failure is deterministic regardless of scheduling.
+//
+// fn must be safe for concurrent invocation when workers > 1. With
+// workers == 1 tasks run sequentially on the calling goroutine in index
+// order, stopping at the first error — the fully deterministic
+// reference behaviour the parallel path must reproduce.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var failed atomic.Bool
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

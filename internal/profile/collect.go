@@ -3,6 +3,7 @@ package profile
 import (
 	"fmt"
 
+	"stac/internal/par"
 	"stac/internal/testbed"
 	"stac/internal/workload"
 )
@@ -23,6 +24,11 @@ type CollectOptions struct {
 	SamplePeriod float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds how many profiling conditions run concurrently
+	// (0 = GOMAXPROCS, 1 = sequential). Each condition is seeded from
+	// Seed and its point index alone, so the collected dataset is
+	// identical at any worker count.
+	Workers int
 }
 
 func (o CollectOptions) defaults() CollectOptions {
@@ -51,25 +57,37 @@ func (o CollectOptions) condition(p Point, runIdx int) testbed.Condition {
 }
 
 // Collect runs one profiling experiment per point and assembles the
-// dataset: rows for both collocated services.
+// dataset: rows for both collocated services. Points run on up to
+// opts.Workers goroutines; rows are assembled in point order, so the
+// dataset is byte-identical regardless of scheduling.
 func Collect(opts CollectOptions, points []Point) (Dataset, error) {
 	opts = opts.defaults()
-	ds := Dataset{Schema: opts.Schema}
-	for i, p := range points {
-		run, err := testbed.Run(opts.condition(p, i))
+	perPoint := make([][]Row, len(points))
+	err := par.ForEach(opts.Workers, len(points), func(i int) error {
+		run, err := testbed.Run(opts.condition(points[i], i))
 		if err != nil {
-			return Dataset{}, fmt.Errorf("profile: point %d: %w", i, err)
+			return fmt.Errorf("profile: point %d: %w", i, err)
 		}
+		var rows []Row
 		for svcIdx := range run.Services {
-			rows, err := BuildRows(opts.Schema, run, svcIdx)
+			svcRows, err := BuildRows(opts.Schema, run, svcIdx)
 			if err != nil {
-				return Dataset{}, fmt.Errorf("profile: point %d service %d: %w", i, svcIdx, err)
+				return fmt.Errorf("profile: point %d service %d: %w", i, svcIdx, err)
 			}
-			for r := range rows {
-				rows[r].CondID = i
+			for r := range svcRows {
+				svcRows[r].CondID = i
 			}
-			ds.Rows = append(ds.Rows, rows...)
+			rows = append(rows, svcRows...)
 		}
+		perPoint[i] = rows
+		return nil
+	})
+	if err != nil {
+		return Dataset{}, err
+	}
+	ds := Dataset{Schema: opts.Schema}
+	for _, rows := range perPoint {
+		ds.Rows = append(ds.Rows, rows...)
 	}
 	return ds, nil
 }

@@ -2,6 +2,7 @@ package profile
 
 import (
 	"stac/internal/cluster"
+	"stac/internal/par"
 	"stac/internal/stats"
 )
 
@@ -101,6 +102,16 @@ func linspace(lo, hi float64, n int) []float64 {
 // points near the centroid *settings* of each cluster — covering the
 // distinct behavioural regimes instead of oversampling any one.
 func StratifiedPoints(nTotal, nSeeds, k int, eval func(Point) float64, rng *stats.RNG) []Point {
+	return StratifiedPointsParallel(nTotal, nSeeds, k, eval, rng, 1)
+}
+
+// StratifiedPointsParallel is StratifiedPoints with the seed-probe
+// evaluations fanned out over up to workers goroutines; eval must then
+// be safe for concurrent calls. All rng consumption (seed draws,
+// clustering, centroid jitter) happens on the calling goroutine, so the
+// returned points are identical to the sequential sampler's for any
+// worker count.
+func StratifiedPointsParallel(nTotal, nSeeds, k int, eval func(Point) float64, rng *stats.RNG, workers int) []Point {
 	if nSeeds > nTotal {
 		nSeeds = nTotal
 	}
@@ -109,11 +120,14 @@ func StratifiedPoints(nTotal, nSeeds, k int, eval func(Point) float64, rng *stat
 		return seeds
 	}
 
-	// Cluster seeds by measured effective allocation.
+	// Cluster seeds by measured effective allocation. The probes are
+	// short profiling runs — the expensive part of sampling — and are
+	// independent of one another.
 	outcomes := make([][]float64, len(seeds))
-	for i, p := range seeds {
-		outcomes[i] = []float64{eval(p)}
-	}
+	_ = par.ForEach(workers, len(seeds), func(i int) error {
+		outcomes[i] = []float64{eval(seeds[i])}
+		return nil
+	})
 	res, err := cluster.KMeans(outcomes, k, 25, rng)
 	if err != nil {
 		return append(seeds, UniformPoints(nTotal-nSeeds, rng)...)

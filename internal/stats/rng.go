@@ -63,6 +63,19 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// SplitN derives n independent generators in a single sequential pass.
+// It is the fan-out primitive for deterministic parallelism: derive one
+// child per task *before* dispatching work to a pool, then hand child i
+// to task i. The children are identical to n successive Split calls, so
+// results do not depend on scheduling or worker count.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

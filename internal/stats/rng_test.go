@@ -131,3 +131,28 @@ func TestShuffleKeepsElements(t *testing.T) {
 		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
 	}
 }
+
+func TestSplitNMatchesSequentialSplits(t *testing.T) {
+	a := NewRNG(99)
+	b := NewRNG(99)
+	kids := a.SplitN(5)
+	for i := 0; i < 5; i++ {
+		want := b.Split()
+		for j := 0; j < 20; j++ {
+			if got, exp := kids[i].Uint64(), want.Uint64(); got != exp {
+				t.Fatalf("child %d draw %d: SplitN %d != Split %d", i, j, got, exp)
+			}
+		}
+	}
+	// The parents must be left in identical states.
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitN advanced the parent differently from Split calls")
+	}
+}
+
+func TestSplitNChildrenDecorrelated(t *testing.T) {
+	kids := NewRNG(7).SplitN(3)
+	if kids[0].Uint64() == kids[1].Uint64() && kids[1].Uint64() == kids[2].Uint64() {
+		t.Fatal("sibling streams emit identical values")
+	}
+}

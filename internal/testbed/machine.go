@@ -55,7 +55,11 @@ type service struct {
 	stallCycles float64
 
 	lastSnapshot counters.Sample
-	windowExecs  map[*exec]struct{}
+	// windowExecs holds the executions that ran during the current
+	// counter window, in dispatch order. Order matters: window shares are
+	// attributed with float sums, and iterating a map here would make the
+	// low-order bits of every counter feature vary run to run.
+	windowExecs []*exec
 
 	completed   int
 	measured    []QueryResult
@@ -124,7 +128,6 @@ func NewMachine(cond Condition) (*Machine, error) {
 			expService:  exp,
 			rate:        rate,
 			running:     make([]*exec, cond.CoresPerService),
-			windowExecs: make(map[*exec]struct{}),
 		}
 		for c := 0; c < cond.CoresPerService; c++ {
 			svc.cores = append(svc.cores, i*cond.CoresPerService+c)
@@ -322,7 +325,7 @@ func (m *Machine) dispatch(s *service, now float64) {
 			measuredIdx: -1,
 		}
 		s.running[ci] = ne
-		s.windowExecs[ne] = struct{}{}
+		s.windowExecs = append(s.windowExecs, ne)
 	}
 }
 
@@ -509,10 +512,11 @@ func (m *Machine) sample(s *service) {
 	s.queueDepths = append(s.queueDepths, float64(len(s.queue)))
 
 	var totalBusy float64
-	for e := range s.windowExecs {
+	for _, e := range s.windowExecs {
 		totalBusy += e.windowBusy
 	}
-	for e := range s.windowExecs {
+	keep := s.windowExecs[:0]
+	for _, e := range s.windowExecs {
 		if totalBusy > 0 && e.windowBusy > 0 {
 			e.trace = append(e.trace, delta.Scale(e.windowBusy/totalBusy))
 		}
@@ -522,7 +526,12 @@ func (m *Machine) sample(s *service) {
 				s.measured[e.measuredIdx].Counters = e.trace.Aggregate()
 				s.measured[e.measuredIdx].Trace = e.trace
 			}
-			delete(s.windowExecs, e)
+			continue
 		}
+		keep = append(keep, e)
 	}
+	for i := len(keep); i < len(s.windowExecs); i++ {
+		s.windowExecs[i] = nil
+	}
+	s.windowExecs = keep
 }

@@ -139,6 +139,9 @@ type ProfileOptions struct {
 	Processor Processor
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds profiling parallelism (0 = GOMAXPROCS, 1 =
+	// sequential). The collected dataset is identical at any count.
+	Workers int
 }
 
 // Profile collects a profiling dataset for a collocated pair, sampling
@@ -154,6 +157,7 @@ func Profile(opts ProfileOptions) (Dataset, error) {
 		Processor:         opts.Processor,
 		QueriesPerService: opts.QueriesPerCondition,
 		Seed:              opts.Seed,
+		Workers:           opts.Workers,
 	}
 	rng := stats.NewRNG(opts.Seed)
 	var pts []Point
@@ -167,9 +171,9 @@ func Profile(opts ProfileOptions) (Dataset, error) {
 		if nSeeds > points {
 			nSeeds = points
 		}
-		pts = profile.StratifiedPoints(points, nSeeds, 4, func(p Point) float64 {
+		pts = profile.StratifiedPointsParallel(points, nSeeds, 4, func(p Point) float64 {
 			return profile.EvalEA(copts, p)
-		}, rng)
+		}, rng, opts.Workers)
 	}
 	return profile.Collect(copts, pts)
 }
@@ -256,6 +260,9 @@ type TrainOptions struct {
 	Servers int
 	// Seed drives training randomness.
 	Seed uint64
+	// Workers bounds training parallelism (0 = GOMAXPROCS, 1 =
+	// sequential). The trained model is identical at any count.
+	Workers int
 }
 
 // Train fits the deep-forest effective-allocation model on a profiling
@@ -266,6 +273,7 @@ func Train(ds Dataset, opts TrainOptions) (*Predictor, error) {
 	if opts.PaperConfig {
 		cfg = deepforest.DefaultConfig(spec)
 	}
+	cfg.Workers = opts.Workers
 	servers := opts.Servers
 	if servers <= 0 {
 		servers = 2
