@@ -11,18 +11,25 @@ package stac
 
 import (
 	"bytes"
+	"flag"
 	"testing"
 
 	"stac/internal/experiments"
 )
 
+// benchWorkers bounds the experiment harness's worker pool, mirroring the
+// -workers flag of cmd/stac so benchmark runs exercise the same parallel
+// path as the CLI (0 = GOMAXPROCS, 1 = fully sequential).
+var benchWorkers = flag.Int("stac.workers", 0, "experiment worker-pool size (0 = GOMAXPROCS)")
+
 // benchExperiment runs one experiment generator per benchmark iteration
 // and logs the rendered report once.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	var rendered bool
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Run(id, experiments.Options{Seed: 2022})
+		rep, err := experiments.Run(id, experiments.Options{Seed: 2022, Workers: *benchWorkers})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -12,6 +12,7 @@ func BenchmarkAccessHit(b *testing.B) {
 		b.Fatal(err)
 	}
 	c.Access(0, 0, false)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Access(0, 0, false)
@@ -28,10 +29,103 @@ func BenchmarkAccessMixed(b *testing.B) {
 	for i := range addrs {
 		addrs[i] = uint64(r.Intn(1 << 20))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Access(i&3, addrs[i&4095], i&7 == 0)
 	}
+}
+
+// BenchmarkAccessMissHeavy streams a footprint far larger than the cache,
+// so nearly every access takes the miss path: probe, victim selection and
+// the fill/eviction-accounting block.
+func BenchmarkAccessMissHeavy(b *testing.B) {
+	c, err := New(Config{Sets: 512, Ways: 20, LineSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(3)
+	addrs := make([]uint64, 8192)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1<<26)) &^ 63 // ~1M lines vs 10K cached
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, addrs[i&8191], false)
+	}
+}
+
+// BenchmarkAccessMultiCLOS drives eight CLOS with overlapping partitioned
+// masks, exercising cross-CLOS eviction accounting and mask-restricted
+// victim selection — the paper's collocation scenario.
+func BenchmarkAccessMultiCLOS(b *testing.B) {
+	c, err := New(Config{Sets: 512, Ways: 20, LineSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for clos := 0; clos < 8; clos++ {
+		c.SetMask(clos, 0x3F<<(clos&3)) // overlapping 6-way windows
+	}
+	r := stats.NewRNG(5)
+	addrs := make([]uint64, 8192)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1<<22)) &^ 63
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(i&7, addrs[i&8191], i&15 == 0)
+	}
+}
+
+// BenchmarkPrefetchResident re-prefetches an already-resident line — the
+// streamer's common case, which must cost a single probe and no fill.
+func BenchmarkPrefetchResident(b *testing.B) {
+	c, err := New(Config{Sets: 512, Ways: 20, LineSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Access(0, 0, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Prefetch(0, 0)
+	}
+}
+
+// BenchmarkPrefetchFill alternates two lines mapping to the same set so
+// every prefetch misses and installs.
+func BenchmarkPrefetchFill(b *testing.B) {
+	c, err := New(Config{Sets: 512, Ways: 1, LineSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Prefetch(0, uint64(i&1)<<15)
+	}
+}
+
+// BenchmarkOccupancy samples per-CLOS occupancy the way Machine.sample
+// does every counter window; it must be O(1), not O(sets×ways).
+func BenchmarkOccupancy(b *testing.B) {
+	c, err := New(Config{Sets: 512, Ways: 20, LineSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(9)
+	for i := 0; i < 1<<16; i++ {
+		c.Access(i&3, uint64(r.Intn(1<<20)), false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += c.Occupancy(i & 3)
+	}
+	_ = n
 }
 
 func BenchmarkHierarchyAccess(b *testing.B) {
@@ -49,8 +143,55 @@ func BenchmarkHierarchyAccess(b *testing.B) {
 	for i := range addrs {
 		addrs[i] = uint64(r.Intn(1 << 19))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Access(i&3, i&3, addrs[i&4095], false)
+	}
+}
+
+// BenchmarkHierarchyAccessPrefetch is BenchmarkHierarchyAccess with the
+// next-line streamer on: every access additionally pays an L2 and an LLC
+// prefetch probe, mostly against resident lines.
+func BenchmarkHierarchyAccessPrefetch(b *testing.B) {
+	h, err := NewHierarchy(HierarchyConfig{
+		Cores:            4,
+		L1:               Config{Sets: 8, Ways: 4, LineSize: 64},
+		L2:               Config{Sets: 32, Ways: 8, LineSize: 64},
+		LLC:              Config{Sets: 512, Ways: 20, LineSize: 64},
+		NextLinePrefetch: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 19))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(i&3, i&3, addrs[i&4095], false)
+	}
+}
+
+// BenchmarkHierarchyStream drives the sequential-scan shape of the
+// spstream workload through the streamer-enabled hierarchy.
+func BenchmarkHierarchyStream(b *testing.B) {
+	h, err := NewHierarchy(HierarchyConfig{
+		Cores:            1,
+		L1:               Config{Sets: 8, Ways: 4, LineSize: 64},
+		L2:               Config{Sets: 32, Ways: 8, LineSize: 64},
+		LLC:              Config{Sets: 512, Ways: 20, LineSize: 64},
+		NextLinePrefetch: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, 0, uint64(i)*64, false)
 	}
 }

@@ -12,6 +12,15 @@
 // are what CAT controls) while shrinking the number of sets. Workload
 // working-set sizes are scaled by the same factor, preserving the
 // miss-ratio-versus-ways behaviour that drives the paper's phenomena.
+//
+// Every simulated memory access of every experiment funnels through
+// Access, so the package is written for the hot path: per-set metadata is
+// packed into uint64 words (a valid bitmask, a bit-PLRU mark mask and a
+// byte-per-way partial-tag signature), probes match all ways at once with
+// SWAR byte comparison instead of a branch per way, victim selection is
+// bit arithmetic, and per-CLOS occupancy is maintained incrementally so
+// sampling it is O(1). The behaviour is bit-identical to the original
+// branch-per-way implementation (see TestGoldenTraceStats).
 package cache
 
 import (
@@ -112,25 +121,80 @@ func (s Stats) MissRatio() float64 {
 // Accesses returns the total number of accesses.
 func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
 
+// Per-set metadata layout within the packed meta slice: each set owns
+// metaWords(ways) consecutive uint64 words so one cache line covers a
+// set's entire probe/victim state.
+const (
+	metaValid = iota // bit w set ⇔ way w holds a valid line
+	metaMRU          // bit-PLRU mark bits
+	metaSig          // first of the byte-per-way partial-tag words
+)
+
+// metaWords returns the per-set metadata footprint in uint64 words.
+func metaWords(ways int) int { return metaSig + (ways+7)/8 }
+
+// SWAR constants for byte-granular zero detection in signature words.
+const (
+	sigLo = 0x0101010101010101
+	sigHi = 0x8080808080808080
+)
+
 // Cache is a single level of set-associative cache with CAT way masks.
 // It is not safe for concurrent use; the simulated machine serialises
 // accesses (the testbed advances simulated time single-threadedly).
 type Cache struct {
 	cfg      Config
+	ways     int
+	stride   int // metaWords(ways)
 	setShift uint
+	tagShift uint
 	setMask  uint64
+	full     uint64      // fullMask(ways)
+	replace  Replacement // cfg.Replace, hoisted off the hot path
 
 	// Flat line arrays indexed by set*ways+way.
 	tags    []uint64
-	valid   []bool
-	owner   []uint8
 	lastUse []uint64
-	mru     []bool // bit-PLRU marks
+	owner   []uint8
+	// meta packs per-set valid/MRU bitmasks and partial-tag signatures.
+	meta []uint64
 
+	occ      [MaxCLOS]int // valid lines per owning CLOS, kept incrementally
 	clock    uint64
 	rngState uint64 // deterministic stream for random replacement
 	masks    [MaxCLOS]uint64
 	stats    [MaxCLOS]Stats
+}
+
+// arena carves the backing arrays of several caches out of single
+// contiguous allocations, so a hierarchy's per-core L1s and L2s end up
+// adjacent in memory instead of scattered across the heap.
+type arena struct {
+	words []uint64
+	bytes []uint8
+}
+
+// newArena sizes an arena for the given cache geometries.
+func newArena(cfgs ...Config) *arena {
+	var words, nbytes int
+	for _, cfg := range cfgs {
+		lines := cfg.Sets * cfg.Ways
+		words += 2*lines + cfg.Sets*metaWords(cfg.Ways) // tags + lastUse + meta
+		nbytes += lines                                 // owner
+	}
+	return &arena{words: make([]uint64, words), bytes: make([]uint8, nbytes)}
+}
+
+func (a *arena) takeWords(n int) []uint64 {
+	s := a.words[:n:n]
+	a.words = a.words[n:]
+	return s
+}
+
+func (a *arena) takeBytes(n int) []uint8 {
+	s := a.bytes[:n:n]
+	a.bytes = a.bytes[n:]
+	return s
 }
 
 // New builds a cache with the given geometry; all CLOS masks start fully
@@ -139,23 +203,33 @@ func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return newInArena(cfg, newArena(cfg)), nil
+}
+
+// newInArena builds a cache whose line storage comes from the arena. The
+// config must already be validated.
+func newInArena(cfg Config, a *arena) *Cache {
 	n := cfg.Sets * cfg.Ways
 	c := &Cache{
 		cfg:      cfg,
+		ways:     cfg.Ways,
+		stride:   metaWords(cfg.Ways),
 		setShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		tagShift: uint(bits.TrailingZeros(uint(cfg.Sets))),
 		setMask:  uint64(cfg.Sets - 1),
-		tags:     make([]uint64, n),
-		valid:    make([]bool, n),
-		owner:    make([]uint8, n),
-		lastUse:  make([]uint64, n),
-		mru:      make([]bool, n),
+		full:     fullMask(cfg.Ways),
+		replace:  cfg.Replace,
+		tags:     a.takeWords(n),
+		lastUse:  a.takeWords(n),
+		meta:     a.takeWords(cfg.Sets * metaWords(cfg.Ways)),
+		owner:    a.takeBytes(n),
 		rngState: 0x9e3779b97f4a7c15,
 	}
 	full := fullMask(cfg.Ways)
 	for i := range c.masks {
 		c.masks[i] = full
 	}
-	return c, nil
+	return c
 }
 
 func fullMask(ways int) uint64 {
@@ -189,11 +263,14 @@ func (c *Cache) ResetStats() {
 	}
 }
 
-// Flush invalidates the entire cache and resets statistics.
+// Flush invalidates the entire cache and resets statistics. Stale MRU
+// marks and recency stamps survive (as in the original implementation);
+// they are unreachable until a way is refilled.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for s := 0; s < c.cfg.Sets; s++ {
+		c.meta[s*c.stride+metaValid] = 0
 	}
+	c.occ = [MaxCLOS]int{}
 	c.clock = 0
 	c.ResetStats()
 }
@@ -213,17 +290,29 @@ func (c *Cache) Access(clos int, addr uint64, write bool) bool {
 
 	lineAddr := addr >> c.setShift
 	set := int(lineAddr & c.setMask)
-	tag := lineAddr >> uint(bits.TrailingZeros(uint(c.cfg.Sets)))
-	base := set * c.cfg.Ways
+	tag := lineAddr >> c.tagShift
+	base := set * c.ways
+	mb := set * c.stride
 
-	// Probe: hits are allowed in any way regardless of the mask.
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
-			st.Hits++
-			c.lastUse[i] = c.clock
-			c.touchMRU(base, i)
-			return true
+	// Probe, hand-inlined from (*Cache).probe (the compiler won't inline
+	// the loop, and the call sits on the single hottest path in the
+	// repository): hits are allowed in any way regardless of the mask.
+	meta := c.meta[mb : mb+c.stride]
+	valid := meta[metaValid]
+	pat := (tag & 0xFF) * sigLo
+	for j, sw := range meta[metaSig:] {
+		x := sw ^ pat
+		z := (x - sigLo) &^ x & sigHi
+		for ; z != 0; z &= z - 1 {
+			w := j<<3 + bits.TrailingZeros64(z)>>3
+			if valid&(1<<uint(w)) != 0 && c.tags[base+w] == tag {
+				st.Hits++
+				c.lastUse[base+w] = c.clock
+				if c.replace == ReplaceBitPLRU {
+					c.touchMRU(mb, w)
+				}
+				return true
+			}
 		}
 	}
 	st.Misses++
@@ -232,110 +321,137 @@ func (c *Cache) Access(clos int, addr uint64, write bool) bool {
 	} else {
 		st.LoadMisses++
 	}
+	c.install(st, clos, mb, base, tag)
+	return false
+}
 
-	// Fill: restricted to the CLOS's permitted ways.
+// probe returns the way holding tag within the set anchored at mb/base,
+// or -1 when the line is not resident. Instead of a branch per way it
+// XORs an 8-bit tag signature against every way's signature byte at once
+// and extracts candidate ways with SWAR zero-byte detection; full tags
+// are compared only for candidates — almost always exactly one. Tags are
+// unique among a set's valid lines (fills happen only after a failed
+// probe), so match order cannot matter.
+func (c *Cache) probe(mb, base int, tag uint64) int {
+	meta := c.meta[mb : mb+c.stride]
+	valid := meta[metaValid]
+	if valid == 0 {
+		return -1
+	}
+	pat := (tag & 0xFF) * sigLo
+	for j, sw := range meta[metaSig:] {
+		x := sw ^ pat
+		// z holds 0x80 at every byte lane of x that is zero (borrow
+		// propagation can flag extra lanes; the full-tag compare below
+		// rejects those, and true matches are never missed).
+		z := (x - sigLo) &^ x & sigHi
+		for ; z != 0; z &= z - 1 {
+			w := j<<3 + bits.TrailingZeros64(z)>>3
+			if valid&(1<<uint(w)) != 0 && c.tags[base+w] == tag {
+				return w
+			}
+		}
+	}
+	return -1
+}
+
+// install fills tag into a permitted way for clos: the single shared
+// fill path behind demand misses and prefetches. It performs victim
+// selection, cross-CLOS eviction accounting, incremental occupancy
+// bookkeeping and recency/signature updates, and reports whether a line
+// was actually filled (false when the effective mask is empty).
+func (c *Cache) install(st *Stats, clos, mb, base int, tag uint64) bool {
 	mask := c.masks[clos]
 	if mask == 0 {
 		return false // bypass — no way to install into
 	}
-	victim := c.chooseVictim(base, mask)
-	if victim < 0 {
+	w := c.victim(mb, base, mask)
+	if w < 0 {
 		return false
 	}
-	if c.valid[victim] && int(c.owner[victim]) != clos {
-		st.EvictionsCaused++
-		c.stats[c.owner[victim]].EvictionsSuffered++
+	i := base + w
+	bit := uint64(1) << uint(w)
+	if c.meta[mb+metaValid]&bit != 0 {
+		// Same-CLOS replacement leaves occupancy unchanged, so the two
+		// counter updates are skipped together with the eviction
+		// accounting — private caches only ever hit this fast path.
+		if old := int(c.owner[i]); old != clos {
+			st.EvictionsCaused++
+			c.stats[old].EvictionsSuffered++
+			c.occ[old]--
+			c.occ[clos]++
+		}
+	} else {
+		c.meta[mb+metaValid] |= bit
+		c.occ[clos]++
 	}
-	c.tags[victim] = tag
-	c.valid[victim] = true
-	c.owner[victim] = uint8(clos)
-	c.lastUse[victim] = c.clock
-	c.touchMRU(base, victim)
+	c.tags[i] = tag
+	c.owner[i] = uint8(clos)
+	c.lastUse[i] = c.clock
+	c.setSig(mb, w, tag)
+	if c.replace == ReplaceBitPLRU {
+		c.touchMRU(mb, w)
+	}
 	st.Installs++
-	return false
+	return true
 }
 
-// chooseVictim picks the line to evict among the permitted ways of a set
-// according to the configured replacement policy. Invalid permitted lines
-// are always preferred.
-func (c *Cache) chooseVictim(base int, mask uint64) int {
-	// Invalid lines first, regardless of policy.
-	for w := 0; w < c.cfg.Ways; w++ {
-		if mask&(1<<uint(w)) == 0 {
-			continue
-		}
-		if !c.valid[base+w] {
-			return base + w
-		}
+// setSig records the 8-bit partial-tag signature for way w.
+func (c *Cache) setSig(mb, w int, tag uint64) {
+	j := mb + metaSig + w>>3
+	sh := uint(w&7) << 3
+	c.meta[j] = c.meta[j]&^(uint64(0xFF)<<sh) | (tag&0xFF)<<sh
+}
+
+// victim picks the way to fill among the permitted ways of a set
+// according to the configured replacement policy. Invalid permitted ways
+// are always preferred — a single bit operation on the packed valid mask.
+func (c *Cache) victim(mb, base int, mask uint64) int {
+	if inv := mask &^ c.meta[mb+metaValid]; inv != 0 {
+		return bits.TrailingZeros64(inv)
 	}
-	switch c.cfg.Replace {
+	switch c.replace {
 	case ReplaceRandom:
 		n := bits.OnesCount64(mask)
 		if n == 0 {
 			return -1
 		}
-		pick := int(c.nextRand() % uint64(n))
-		for w := 0; w < c.cfg.Ways; w++ {
-			if mask&(1<<uint(w)) == 0 {
-				continue
-			}
-			if pick == 0 {
-				return base + w
-			}
-			pick--
+		m := mask
+		for pick := int(c.nextRand() % uint64(n)); pick > 0; pick-- {
+			m &= m - 1
 		}
-		return -1
+		return bits.TrailingZeros64(m)
 	case ReplaceBitPLRU:
-		for w := 0; w < c.cfg.Ways; w++ {
-			if mask&(1<<uint(w)) == 0 {
-				continue
-			}
-			if !c.mru[base+w] {
-				return base + w
-			}
+		if cand := mask &^ c.meta[mb+metaMRU]; cand != 0 {
+			return bits.TrailingZeros64(cand)
 		}
 		// All permitted lines marked (can happen when marks were set by
 		// other CLOS's hits): fall back to the first permitted way.
-		for w := 0; w < c.cfg.Ways; w++ {
-			if mask&(1<<uint(w)) != 0 {
-				return base + w
-			}
+		if mask == 0 {
+			return -1
 		}
-		return -1
+		return bits.TrailingZeros64(mask)
 	default: // ReplaceLRU
-		victim := -1
-		var oldest uint64 = ^uint64(0)
-		for w := 0; w < c.cfg.Ways; w++ {
-			if mask&(1<<uint(w)) == 0 {
-				continue
-			}
-			i := base + w
-			if c.lastUse[i] < oldest {
-				oldest = c.lastUse[i]
-				victim = i
+		w := -1
+		oldest := ^uint64(0)
+		for m := mask; m != 0; m &= m - 1 {
+			cand := bits.TrailingZeros64(m)
+			if lu := c.lastUse[base+cand]; lu < oldest {
+				oldest, w = lu, cand
 			}
 		}
-		return victim
+		return w
 	}
 }
 
-// touchMRU marks a line most-recently-used for bit-PLRU and resets the
-// set's marks once every valid line is marked.
-func (c *Cache) touchMRU(base, i int) {
-	if c.cfg.Replace != ReplaceBitPLRU {
+// touchMRU marks way w most-recently-used for bit-PLRU and resets the
+// set's marks to just w once every valid line is marked.
+func (c *Cache) touchMRU(mb, w int) {
+	c.meta[mb+metaMRU] |= 1 << uint(w)
+	if c.meta[mb+metaValid]&^c.meta[mb+metaMRU] != 0 {
 		return
 	}
-	c.mru[i] = true
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.valid[base+w] && !c.mru[base+w] {
-			return
-		}
-	}
-	for w := 0; w < c.cfg.Ways; w++ {
-		if base+w != i {
-			c.mru[base+w] = false
-		}
-	}
+	c.meta[mb+metaMRU] = 1 << uint(w)
 }
 
 // nextRand advances the cache's deterministic xorshift stream.
@@ -351,61 +467,39 @@ func (c *Cache) nextRand() uint64 {
 // Prefetch installs the line containing addr for clos without touching
 // the demand counters (Loads/Hits/Misses). It reports whether a fill
 // happened (false when the line was already resident or no way was
-// permitted). Used by the hierarchy's next-line prefetcher.
+// permitted). Used by the hierarchy's next-line prefetcher; the
+// residency check is the same single SWAR probe as a demand access, so
+// streaming re-prefetches of resident lines cost no per-way scan.
 func (c *Cache) Prefetch(clos int, addr uint64) bool {
 	c.clock++
 	lineAddr := addr >> c.setShift
 	set := int(lineAddr & c.setMask)
-	tag := lineAddr >> uint(bits.TrailingZeros(uint(c.cfg.Sets)))
-	base := set * c.cfg.Ways
+	tag := lineAddr >> c.tagShift
+	base := set * c.ways
+	mb := set * c.stride
 
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
-			return false // already resident; do not perturb recency
-		}
-	}
-	mask := c.masks[clos]
-	if mask == 0 {
-		return false
-	}
-	victim := c.chooseVictim(base, mask)
-	if victim < 0 {
-		return false
+	if c.probe(mb, base, tag) >= 0 {
+		return false // already resident; do not perturb recency
 	}
 	st := &c.stats[clos]
-	if c.valid[victim] && int(c.owner[victim]) != clos {
-		st.EvictionsCaused++
-		c.stats[c.owner[victim]].EvictionsSuffered++
+	if !c.install(st, clos, mb, base, tag) {
+		return false
 	}
-	c.tags[victim] = tag
-	c.valid[victim] = true
-	c.owner[victim] = uint8(clos)
-	c.lastUse[victim] = c.clock
-	c.touchMRU(base, victim)
-	st.Installs++
 	st.Prefetches++
 	return true
 }
 
 // Occupancy returns the number of valid lines currently owned by clos.
-func (c *Cache) Occupancy(clos int) int {
-	n := 0
-	for i, v := range c.valid {
-		if v && int(c.owner[i]) == clos {
-			n++
-		}
-	}
-	return n
-}
+// The counter is maintained incrementally on every fill and eviction, so
+// the per-window sampling in the testbed is O(1) instead of a sweep over
+// sets × ways.
+func (c *Cache) Occupancy(clos int) int { return c.occ[clos] }
 
 // ValidLines returns the total number of valid lines.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for _, v := range c.valid {
-		if v {
-			n++
-		}
+	for s := 0; s < c.cfg.Sets; s++ {
+		n += bits.OnesCount64(c.meta[s*c.stride+metaValid])
 	}
 	return n
 }

@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"stac/internal/stats"
+)
+
+// goldenTrace drives a fixed, deterministic access sequence designed to
+// exercise every behavioural corner the packed-metadata fast path must
+// preserve bit-for-bit: four concurrent CLOS, capacity masks reprogrammed
+// mid-stream (including an empty bypass mask and overlapping masks),
+// interleaved prefetches, and a load/store mix.
+func goldenTrace(c *Cache) {
+	r := stats.NewRNG(42)
+
+	// Phase 1: all masks fully open, warm contention across 4 CLOS.
+	for i := 0; i < 3000; i++ {
+		clos := r.Intn(4)
+		addr := uint64(r.Intn(2048)) * 64
+		c.Access(clos, addr, r.Float64() < 0.3)
+	}
+
+	// Phase 2: partition mid-stream — disjoint, shared and bypass masks —
+	// with prefetches interleaved every 7th reference.
+	c.SetMask(0, 0x0F)
+	c.SetMask(1, 0xF0)
+	c.SetMask(2, 0xFF)
+	c.SetMask(3, 0) // bypass: legal empty mask
+	for i := 0; i < 3000; i++ {
+		clos := r.Intn(4)
+		addr := uint64(r.Intn(4096)) * 64
+		if i%7 == 0 {
+			c.Prefetch(clos, addr)
+		} else {
+			c.Access(clos, addr, r.Float64() < 0.25)
+		}
+	}
+
+	// Phase 3: overlapping narrow masks over a hot footprint.
+	c.SetMask(0, 0x3C)
+	c.SetMask(3, 0xC3)
+	for i := 0; i < 2000; i++ {
+		clos := r.Intn(4)
+		addr := uint64(r.Intn(512)) * 64
+		c.Access(clos, addr, false)
+	}
+}
+
+// cacheFingerprint renders the complete observable state the paper's
+// profiling stage consumes: every per-CLOS counter plus occupancy and the
+// total valid-line population.
+func cacheFingerprint(c *Cache) string {
+	var b strings.Builder
+	for clos := 0; clos < 4; clos++ {
+		st := c.Stats(clos)
+		fmt.Fprintf(&b, "clos%d loads=%d stores=%d hits=%d misses=%d lm=%d sm=%d inst=%d pf=%d evC=%d evS=%d occ=%d\n",
+			clos, st.Loads, st.Stores, st.Hits, st.Misses, st.LoadMisses, st.StoreMisses,
+			st.Installs, st.Prefetches, st.EvictionsCaused, st.EvictionsSuffered, c.Occupancy(clos))
+	}
+	fmt.Fprintf(&b, "valid=%d", c.ValidLines())
+	return b.String()
+}
+
+// goldenStats pins the exact fingerprint per replacement policy. These
+// values were captured from the original branch-per-way simulator and must
+// never change: any refactor of the probe/fill/victim path has to
+// reproduce them bit-for-bit.
+var goldenStats = map[Replacement]string{
+	ReplaceLRU: `clos0 loads=1475 stores=405 hits=188 misses=1692 lm=1304 sm=388 inst=1794 pf=102 evC=944 evS=950 occ=29
+clos1 loads=1498 stores=381 hits=174 misses=1705 lm=1341 sm=364 inst=1811 pf=106 evC=996 evS=990 occ=32
+clos2 loads=1500 stores=400 hits=180 misses=1720 lm=1338 sm=382 inst=1816 pf=96 evC=1294 evS=1291 occ=34
+clos3 loads=1509 stores=403 hits=209 misses=1703 lm=1323 sm=380 inst=1088 pf=0 evC=721 evS=724 occ=33
+valid=128`,
+	ReplaceRandom: `clos0 loads=1475 stores=405 hits=176 misses=1704 lm=1319 sm=385 inst=1809 pf=105 evC=928 evS=930 occ=33
+clos1 loads=1498 stores=381 hits=175 misses=1704 lm=1342 sm=362 inst=1810 pf=106 evC=988 evS=986 occ=28
+clos2 loads=1500 stores=400 hits=165 misses=1735 lm=1353 sm=382 inst=1830 pf=95 evC=1265 evS=1261 occ=35
+clos3 loads=1509 stores=403 hits=197 misses=1715 lm=1332 sm=383 inst=1097 pf=0 evC=713 evS=717 occ=32
+valid=128`,
+	ReplaceBitPLRU: `clos0 loads=1475 stores=405 hits=195 misses=1685 lm=1297 sm=388 inst=1787 pf=102 evC=933 evS=940 occ=28
+clos1 loads=1498 stores=381 hits=176 misses=1703 lm=1345 sm=358 inst=1811 pf=108 evC=830 evS=819 occ=37
+clos2 loads=1500 stores=400 hits=176 misses=1724 lm=1338 sm=386 inst=1820 pf=96 evC=1217 evS=1215 occ=33
+clos3 loads=1509 stores=403 hits=208 misses=1704 lm=1325 sm=379 inst=1089 pf=0 evC=720 evS=726 occ=30
+valid=128`,
+}
+
+func TestGoldenTraceStats(t *testing.T) {
+	for _, rep := range []Replacement{ReplaceLRU, ReplaceRandom, ReplaceBitPLRU} {
+		t.Run(rep.String(), func(t *testing.T) {
+			c, err := New(Config{Sets: 16, Ways: 8, LineSize: 64, Replace: rep})
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenTrace(c)
+			got := cacheFingerprint(c)
+			if want := goldenStats[rep]; got != want {
+				t.Errorf("golden trace diverged under %v:\ngot:\n%s\nwant:\n%s", rep, got, want)
+			}
+		})
+	}
+}
+
+// goldenHierarchy pins the level histogram and LLC accounting of a
+// two-core hierarchy with the next-line streamer enabled, guarding the
+// single-probe prefetch flow end to end.
+const goldenHierarchy = `L1=38 L2=2695 LLC=3753 MEM=13514
+clos0 acc=8755 miss=6850 inst=16012 pf=9162 evC=0 evS=0 occ=1024
+clos1 acc=8512 miss=6664 inst=15513 pf=8849 evC=0 evS=0 occ=1024
+core0 l1miss=10109 l2miss=8755 l2pf=10003
+core1 l1miss=9853 l2miss=8512 l2pf=9741
+`
+
+func TestGoldenTraceHierarchy(t *testing.T) {
+	h, err := NewHierarchy(HierarchyConfig{
+		Cores:            2,
+		L1:               Config{Sets: 8, Ways: 4, LineSize: 64},
+		L2:               Config{Sets: 32, Ways: 8, LineSize: 64},
+		LLC:              Config{Sets: 128, Ways: 16, LineSize: 64},
+		NextLinePrefetch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetMask(0, 0x00FF)
+	h.SetMask(1, 0xFF00)
+	r := stats.NewRNG(7)
+	var levels [5]int
+	for i := 0; i < 20000; i++ {
+		core := r.Intn(2)
+		var addr uint64
+		if r.Float64() < 0.5 {
+			addr = uint64(i%4096) * 64 // streaming phase component
+		} else {
+			addr = uint64(r.Intn(1<<14)) * 64
+		}
+		levels[h.Access(core, core, addr, r.Float64() < 0.2)]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "L1=%d L2=%d LLC=%d MEM=%d\n", levels[LevelL1], levels[LevelL2], levels[LevelLLC], levels[LevelMemory])
+	for clos := 0; clos < 2; clos++ {
+		st := h.LLC().Stats(clos)
+		fmt.Fprintf(&b, "clos%d acc=%d miss=%d inst=%d pf=%d evC=%d evS=%d occ=%d\n",
+			clos, st.Accesses(), st.Misses, st.Installs, st.Prefetches,
+			st.EvictionsCaused, st.EvictionsSuffered, h.LLC().Occupancy(clos))
+	}
+	for core := 0; core < 2; core++ {
+		l1, l2 := h.L1Stats(core), h.L2Stats(core)
+		fmt.Fprintf(&b, "core%d l1miss=%d l2miss=%d l2pf=%d\n", core, l1.Misses, l2.Misses, l2.Prefetches)
+	}
+	if got := b.String(); got != goldenHierarchy {
+		t.Errorf("hierarchy golden trace diverged:\ngot:\n%s\nwant:\n%s", got, goldenHierarchy)
+	}
+}

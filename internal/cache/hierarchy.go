@@ -64,35 +64,37 @@ func (hc HierarchyConfig) Validate() error {
 // core's L1, then L2, then the shared LLC; a miss at every level goes to
 // memory and fills upward. Only the LLC is CAT-partitioned.
 type Hierarchy struct {
-	cfg HierarchyConfig
-	l1  []*Cache // one per core (CLOS 0 only)
-	l2  []*Cache
-	llc *Cache
+	cfg            HierarchyConfig
+	prefetchStride uint64   // next-line distance, hoisted from cfg.L2.LineSize
+	l1             []*Cache // one per core (CLOS 0 only)
+	l2             []*Cache
+	llc            *Cache
 }
 
-// NewHierarchy builds the hierarchy.
+// NewHierarchy builds the hierarchy. All per-core caches and the LLC
+// draw their line storage from one contiguous arena, so the hot private
+// levels sit adjacent in memory rather than in scattered allocations.
 func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	h := &Hierarchy{cfg: cfg}
+	cfgs := make([]Config, 0, 2*cfg.Cores+1)
 	for i := 0; i < cfg.Cores; i++ {
-		l1, err := New(cfg.L1)
-		if err != nil {
-			return nil, err
-		}
-		l2, err := New(cfg.L2)
-		if err != nil {
-			return nil, err
-		}
-		h.l1 = append(h.l1, l1)
-		h.l2 = append(h.l2, l2)
+		cfgs = append(cfgs, cfg.L1, cfg.L2)
 	}
-	var err error
-	h.llc, err = New(cfg.LLC)
-	if err != nil {
-		return nil, err
+	cfgs = append(cfgs, cfg.LLC)
+	a := newArena(cfgs...)
+	h := &Hierarchy{
+		cfg:            cfg,
+		prefetchStride: uint64(cfg.L2.LineSize),
+		l1:             make([]*Cache, 0, cfg.Cores),
+		l2:             make([]*Cache, 0, cfg.Cores),
 	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1 = append(h.l1, newInArena(cfg.L1, a))
+		h.l2 = append(h.l2, newInArena(cfg.L2, a))
+	}
+	h.llc = newInArena(cfg.LLC, a)
 	return h, nil
 }
 
@@ -129,7 +131,7 @@ func (h *Hierarchy) Access(core, clos int, addr uint64, write bool) Level {
 	// prefetchers: triggering only on misses would leave every other
 	// line of a stream missing.
 	if h.cfg.NextLinePrefetch {
-		next := addr + uint64(h.cfg.L2.LineSize)
+		next := addr + h.prefetchStride
 		h.l2[core].Prefetch(0, next)
 		h.llc.Prefetch(clos, next)
 	}

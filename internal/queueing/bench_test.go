@@ -16,6 +16,7 @@ func BenchmarkSimulate(b *testing.B) {
 		Queries:   4000,
 		Warmup:    400,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)

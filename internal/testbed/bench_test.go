@@ -9,6 +9,7 @@ import (
 func BenchmarkRunPair(b *testing.B) {
 	cond := Pair(workload.Redis(), workload.BFS(), 0.8, 0.8, 1, 1, 5)
 	cond.QueriesPerService = 100
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(cond); err != nil {
@@ -20,6 +21,7 @@ func BenchmarkRunPair(b *testing.B) {
 func BenchmarkCalibrate(b *testing.B) {
 	proc := XeonE5_2683()
 	k := workload.Redis()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		CalibrateServiceTime(proc, k, calSetting(), 1<<32, uint64(i))

@@ -219,11 +219,10 @@ func (m *Machine) Run() (*RunResult, error) {
 
 	// Quantum: a small fraction of the fastest service so queries span
 	// many quanta and LLC contention interleaves finely.
-	minExp, maxExp := math.Inf(1), 0.0
+	minExp := math.Inf(1)
 	minRate := math.Inf(1)
 	for _, s := range m.svcs {
 		minExp = math.Min(minExp, s.expService)
-		maxExp = math.Max(maxExp, s.expService)
 		minRate = math.Min(minRate, s.rate)
 	}
 	quantum := minExp / 64
@@ -363,8 +362,8 @@ func (m *Machine) updateBoost(s *service, now float64) {
 // shared memory controller regardless of CAT masks, so a streaming
 // neighbour slows every collocated service's memory accesses.
 func (m *Machine) updatePressure(quantum float64) {
-	cap := m.cond.Processor.MemBandwidthCap
-	if cap <= 0 {
+	bwCap := m.cond.Processor.MemBandwidthCap
+	if bwCap <= 0 {
 		return
 	}
 	const ewma = 0.2
@@ -381,7 +380,7 @@ func (m *Machine) updatePressure(quantum float64) {
 				others += o.missRate
 			}
 		}
-		p := others / cap
+		p := others / bwCap
 		if p > 2 {
 			p = 2
 		}

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# bench.sh — capture the simulator's performance trajectory.
+#
+# Runs the internal/cache micro-benchmarks (per-access cost of the
+# probe/fill hot path) plus one end-to-end fig6 regeneration (the
+# experiment pipeline's wall-clock floor), and writes BENCH_cache.json so
+# successive PRs can compare against a recorded baseline with benchstat
+# or by diffing the JSON.
+#
+# Usage:
+#   scripts/bench.sh           full run (8 samples per benchmark)
+#   scripts/bench.sh -short    CI-sized run (3 samples, short benchtime)
+#
+# Environment:
+#   BENCH_OUT   output path (default BENCH_cache.json at the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=full
+COUNT=8
+BENCHTIME=1s
+if [[ "${1:-}" == "-short" ]]; then
+    MODE=short
+    COUNT=3
+    BENCHTIME=0.2s
+fi
+OUT=${BENCH_OUT:-BENCH_cache.json}
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "== micro-benchmarks (internal/cache, count=$COUNT, benchtime=$BENCHTIME) =="
+go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
+    ./internal/cache | tee "$RAW"
+
+echo "== end-to-end: fig6 regeneration wall clock =="
+go build -o /tmp/stac-bench ./cmd/stac
+START=$(date +%s.%N)
+/tmp/stac-bench experiment fig6 -seed 2022 > /dev/null
+END=$(date +%s.%N)
+FIG6=$(awk -v a="$START" -v b="$END" 'BEGIN { printf "%.3f", b - a }')
+echo "fig6 wall clock: ${FIG6}s"
+
+GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+GO_VERSION=$(go env GOVERSION)
+
+python3 - "$RAW" "$OUT" "$MODE" "$FIG6" "$GIT_REV" "$GO_VERSION" <<'PYEOF'
+import json
+import re
+import sys
+import time
+
+raw, out, mode, fig6, git_rev, go_version = sys.argv[1:7]
+
+# Lines look like:
+# BenchmarkAccessHit-8   274317721   4.593 ns/op   0 B/op   0 allocs/op
+pat = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op"
+    r"(?:\s+(\d+) B/op\s+(\d+) allocs/op)?"
+)
+bench = {}
+for line in open(raw):
+    m = pat.match(line)
+    if not m:
+        continue
+    name, ns = m.group(1), float(m.group(2))
+    e = bench.setdefault(
+        name,
+        {"ns_per_op_min": ns, "ns_per_op_sum": 0.0, "samples": 0,
+         "bytes_per_op": 0, "allocs_per_op": 0},
+    )
+    e["ns_per_op_min"] = min(e["ns_per_op_min"], ns)
+    e["ns_per_op_sum"] += ns
+    e["samples"] += 1
+    if m.group(3) is not None:
+        e["bytes_per_op"] = int(m.group(3))
+        e["allocs_per_op"] = int(m.group(4))
+
+for e in bench.values():
+    e["ns_per_op_mean"] = round(e.pop("ns_per_op_sum") / e["samples"], 3)
+
+doc = {
+    "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "git": git_rev,
+    "go": go_version,
+    "mode": mode,
+    "benchmarks": dict(sorted(bench.items())),
+    "fig6_wall_clock_seconds": float(fig6),
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+PYEOF
