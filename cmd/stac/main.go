@@ -22,36 +22,53 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	// Global observability flags may precede the subcommand; flag parsing
+	// stops at the first non-flag argument, which is the subcommand name.
+	global := flag.NewFlagSet("stac", flag.ContinueOnError)
+	global.Usage = usage
+	registerObsFlags(global)
+	if err := global.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		os.Exit(2)
+	}
+	args := global.Args()
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	var err error
-	switch os.Args[1] {
-	case "experiment":
-		err = cmdExperiment(os.Args[2:])
-	case "pipeline":
-		err = cmdPipeline(os.Args[2:])
-	case "profile":
-		err = cmdProfile(os.Args[2:])
-	case "train":
-		err = cmdTrain(os.Args[2:])
-	case "predict":
-		err = cmdPredict(os.Args[2:])
-	case "mrc":
-		err = cmdMRC(os.Args[2:])
-	case "workloads":
-		err = cmdWorkloads()
-	case "list":
-		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+	err := startObs()
+	if err == nil {
+		switch args[0] {
+		case "experiment":
+			err = cmdExperiment(args[1:])
+		case "pipeline":
+			err = cmdPipeline(args[1:])
+		case "profile":
+			err = cmdProfile(args[1:])
+		case "train":
+			err = cmdTrain(args[1:])
+		case "predict":
+			err = cmdPredict(args[1:])
+		case "mrc":
+			err = cmdMRC(args[1:])
+		case "workloads":
+			err = cmdWorkloads()
+		case "list":
+			for _, id := range experiments.IDs() {
+				fmt.Println(id)
+			}
+		case "help":
+			usage()
+		default:
+			fmt.Fprintf(os.Stderr, "stac: unknown command %q\n", args[0])
+			usage()
+			os.Exit(2)
 		}
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "stac: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
+	}
+	if ferr := finishObs(); err == nil {
+		err = ferr
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stac: %v\n", err)
@@ -69,12 +86,20 @@ func usage() {
   stac predict -in <dataset> -model <f> [flags]    predict response time for a scenario
   stac mrc [-accesses N]                           exact LRU miss-ratio curves per workload
   stac workloads                                   list the Table 1 benchmark kernels
-  stac list                                        list experiment ids`)
+  stac list                                        list experiment ids
+
+observability flags (before the subcommand or among its flags):
+  -metrics <path>   write a JSON metrics snapshot on exit
+  -pprof <addr>     serve net/http/pprof (e.g. localhost:6060)
+  -trace <path>     write a runtime execution trace`)
 }
 
 func cmdExperiment(args []string) error {
 	ids, opts, err := parseExperimentArgs(args)
 	if err != nil {
+		return err
+	}
+	if err := startObs(); err != nil {
 		return err
 	}
 	for _, id := range ids {
@@ -97,6 +122,7 @@ func parseExperimentArgs(args []string) ([]string, experiments.Options, error) {
 	thorough := fs.Bool("thorough", false, "larger datasets and model budgets (slower)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"parallel workers; results are identical at any count (1 = sequential)")
+	registerObsFlags(fs)
 	var ids []string
 	rest := args
 	for len(rest) > 0 && rest[0][0] != '-' {
@@ -124,7 +150,11 @@ func cmdPipeline(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"parallel workers; results are identical at any count (1 = sequential)")
+	registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startObs(); err != nil {
 		return err
 	}
 

@@ -15,7 +15,11 @@ func cmdMRC(args []string) error {
 	fs := flag.NewFlagSet("mrc", flag.ExitOnError)
 	accesses := fs.Int("accesses", 40000, "trace length per workload")
 	seed := fs.Uint64("seed", 1, "random seed")
+	registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startObs(); err != nil {
 		return err
 	}
 

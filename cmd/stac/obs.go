@@ -1,0 +1,89 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime/trace"
+
+	"stac/internal/obs"
+)
+
+// Observability flags are accepted both before the subcommand
+// (stac -metrics m.json experiment fig6) and among the subcommand's own
+// flags (stac experiment fig6 -metrics m.json): every flag set registers
+// the same backing variables via registerObsFlags.
+var (
+	metricsPath string
+	pprofAddr   string
+	tracePath   string
+
+	pprofUp   bool
+	traceFile *os.File
+)
+
+func registerObsFlags(fs *flag.FlagSet) {
+	// The defaults are the variables' current values: StringVar assigns
+	// its default at registration, and a subcommand's flag set must not
+	// wipe values already parsed from the global position.
+	fs.StringVar(&metricsPath, "metrics", metricsPath, "write a JSON metrics snapshot to this path on exit")
+	fs.StringVar(&pprofAddr, "pprof", pprofAddr, "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&tracePath, "trace", tracePath, "write a runtime execution trace to this path")
+}
+
+// startObs starts whatever the observability flags requested: the pprof
+// HTTP server and the runtime trace. It is idempotent — main calls it
+// after parsing global flags and each subcommand calls it again after
+// parsing its own, so the flags work in either position.
+func startObs() error {
+	if pprofAddr != "" && !pprofUp {
+		ln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		pprofUp = true
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			// The server lives for the whole process; Serve only returns
+			// on listener failure, which is not worth crashing a run over.
+			_ = http.Serve(ln, nil)
+		}()
+	}
+	if tracePath != "" && traceFile == nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		traceFile = f
+	}
+	return nil
+}
+
+// finishObs stops the runtime trace and writes the metrics snapshot.
+// It runs after the subcommand returns, successfully or not, so partial
+// runs still leave usable diagnostics behind.
+func finishObs() error {
+	var first error
+	if traceFile != nil {
+		trace.Stop()
+		if err := traceFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("trace: %w", err)
+		}
+		traceFile = nil
+	}
+	if metricsPath != "" {
+		if err := obs.WriteFile(metricsPath); err != nil && first == nil {
+			first = fmt.Errorf("metrics: %w", err)
+		} else if err == nil {
+			fmt.Fprintf(os.Stderr, "metrics: wrote snapshot to %s\n", metricsPath)
+		}
+	}
+	return first
+}

@@ -22,7 +22,11 @@ func cmdProfile(args []string) error {
 	uniform := fs.Bool("uniform", false, "uniform instead of stratified sampling")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("out", "profile.json.gz", "output dataset path")
+	registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startObs(); err != nil {
 		return err
 	}
 	ka, err := stac.WorkloadByName(*aName)
@@ -54,7 +58,11 @@ func cmdTrain(args []string) error {
 	out := fs.String("model", "model.gob", "output model path")
 	paper := fs.Bool("paper", false, "paper-faithful deep-forest configuration (slow)")
 	seed := fs.Uint64("seed", 1, "random seed")
+	registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startObs(); err != nil {
 		return err
 	}
 	ds, err := profile.LoadFile(*in)
@@ -95,7 +103,11 @@ func cmdPredict(args []string) error {
 	timeout := fs.Float64("timeout", 1.0, "STAP timeout (x service time)")
 	partnerLoad := fs.Float64("partner-load", 0.9, "partner load")
 	partnerTimeout := fs.Float64("partner-timeout", 1.0, "partner timeout")
+	registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startObs(); err != nil {
 		return err
 	}
 	ds, err := profile.LoadFile(*in)

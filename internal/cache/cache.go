@@ -164,6 +164,11 @@ type Cache struct {
 	rngState uint64 // deterministic stream for random replacement
 	masks    [MaxCLOS]uint64
 	stats    [MaxCLOS]Stats
+
+	// rec, when non-nil, receives per-access events tagged with level
+	// (see SetRecorder). The nil check is the entire disabled-path cost.
+	rec   Recorder
+	level int
 }
 
 // arena carves the backing arrays of several caches out of single
@@ -311,6 +316,9 @@ func (c *Cache) Access(clos int, addr uint64, write bool) bool {
 				if c.replace == ReplaceBitPLRU {
 					c.touchMRU(mb, w)
 				}
+				if c.rec != nil {
+					c.rec.CacheAccess(c.level, clos, true, write)
+				}
 				return true
 			}
 		}
@@ -320,6 +328,9 @@ func (c *Cache) Access(clos int, addr uint64, write bool) bool {
 		st.StoreMisses++
 	} else {
 		st.LoadMisses++
+	}
+	if c.rec != nil {
+		c.rec.CacheAccess(c.level, clos, false, write)
 	}
 	c.install(st, clos, mb, base, tag)
 	return false
@@ -371,7 +382,8 @@ func (c *Cache) install(st *Stats, clos, mb, base int, tag uint64) bool {
 	}
 	i := base + w
 	bit := uint64(1) << uint(w)
-	if c.meta[mb+metaValid]&bit != 0 {
+	fresh := c.meta[mb+metaValid]&bit == 0
+	if !fresh {
 		// Same-CLOS replacement leaves occupancy unchanged, so the two
 		// counter updates are skipped together with the eviction
 		// accounting — private caches only ever hit this fast path.
@@ -380,6 +392,9 @@ func (c *Cache) install(st *Stats, clos, mb, base int, tag uint64) bool {
 			c.stats[old].EvictionsSuffered++
 			c.occ[old]--
 			c.occ[clos]++
+			if c.rec != nil {
+				c.rec.CacheEviction(c.level, clos, old)
+			}
 		}
 	} else {
 		c.meta[mb+metaValid] |= bit
@@ -393,6 +408,9 @@ func (c *Cache) install(st *Stats, clos, mb, base int, tag uint64) bool {
 		c.touchMRU(mb, w)
 	}
 	st.Installs++
+	if c.rec != nil {
+		c.rec.CacheInstall(c.level, clos, fresh)
+	}
 	return true
 }
 

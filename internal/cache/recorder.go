@@ -1,0 +1,46 @@
+package cache
+
+// Recorder receives per-access cache events for external observability.
+// The simulator's own Stats accounting is always on; a Recorder adds a
+// live event stream (per-CLOS hit/miss/install/eviction attribution, from
+// which occupancy can be maintained incrementally) for metric layers,
+// debuggers and tests.
+//
+// Recording is strictly opt-in: every cache starts with a nil recorder,
+// and the nil path costs one predictable branch per event site — the
+// configuration BenchmarkHierarchyAccess and TestNilRecorderZeroAllocs
+// pin. Implementations are invoked synchronously from the simulation hot
+// path and must not block; the obs package's CacheRecorder (a handful of
+// atomic increments per event) is the intended implementation.
+type Recorder interface {
+	// CacheAccess reports one demand access and whether it hit.
+	CacheAccess(level, clos int, hit, write bool)
+	// CacheInstall reports a line fill for clos. fresh is true when an
+	// invalid way was populated (occupancy grew) rather than a valid line
+	// replaced.
+	CacheInstall(level, clos int, fresh bool)
+	// CacheEviction reports causer displacing a valid line owned by the
+	// *different* CLOS victim — the cross-service contention event.
+	// Same-CLOS replacement is reported only as a non-fresh CacheInstall.
+	CacheEviction(level, causer, victim int)
+}
+
+// SetRecorder attaches r to this cache, tagging its events with level
+// (hierarchies use the Level constants; standalone caches conventionally
+// pass 0). Passing nil detaches the recorder and restores the zero-cost
+// path. Not safe to call concurrently with Access.
+func (c *Cache) SetRecorder(level int, r Recorder) {
+	c.level = level
+	c.rec = r
+}
+
+// SetRecorder attaches r to every cache in the hierarchy: the per-core
+// private levels report as LevelL1/LevelL2, the shared LLC as LevelLLC.
+// Passing nil detaches recording everywhere.
+func (h *Hierarchy) SetRecorder(r Recorder) {
+	for i := range h.l1 {
+		h.l1[i].SetRecorder(int(LevelL1), r)
+		h.l2[i].SetRecorder(int(LevelL2), r)
+	}
+	h.llc.SetRecorder(int(LevelLLC), r)
+}

@@ -1,0 +1,238 @@
+package cache
+
+import (
+	"testing"
+
+	"stac/internal/obs"
+	"stac/internal/stats"
+)
+
+// countingRecorder tallies events per kind for cross-checking against the
+// simulator's own Stats accounting.
+type countingRecorder struct {
+	hits, misses   map[int]uint64 // by clos
+	installs       map[int]uint64
+	occupancy      map[int]int // maintained from fresh installs / evictions
+	evCaused       map[int]uint64
+	evSuffered     map[int]uint64
+	accessesByLvl  map[int]uint64
+	writesObserved uint64
+}
+
+func newCountingRecorder() *countingRecorder {
+	return &countingRecorder{
+		hits: map[int]uint64{}, misses: map[int]uint64{},
+		installs: map[int]uint64{}, occupancy: map[int]int{},
+		evCaused: map[int]uint64{}, evSuffered: map[int]uint64{},
+		accessesByLvl: map[int]uint64{},
+	}
+}
+
+func (r *countingRecorder) CacheAccess(level, clos int, hit, write bool) {
+	r.accessesByLvl[level]++
+	if hit {
+		r.hits[clos]++
+	} else {
+		r.misses[clos]++
+	}
+	if write {
+		r.writesObserved++
+	}
+}
+
+func (r *countingRecorder) CacheInstall(level, clos int, fresh bool) {
+	r.installs[clos]++
+	if fresh {
+		r.occupancy[clos]++
+	}
+}
+
+func (r *countingRecorder) CacheEviction(level, causer, victim int) {
+	r.evCaused[causer]++
+	r.evSuffered[victim]++
+	r.occupancy[causer]++
+	r.occupancy[victim]--
+}
+
+// TestRecorderMatchesStats drives a partitioned multi-CLOS workload and
+// asserts the event stream reproduces the simulator's own accounting
+// exactly — including incremental occupancy.
+func TestRecorderMatchesStats(t *testing.T) {
+	c, err := New(Config{Sets: 16, Ways: 8, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newCountingRecorder()
+	c.SetRecorder(0, rec)
+	c.SetMask(0, 0x0F)
+	c.SetMask(1, 0x3C) // overlaps CLOS 0 on ways 2-3: evictions guaranteed
+	r := stats.NewRNG(42)
+	for i := 0; i < 20000; i++ {
+		c.Access(i&1, uint64(r.Intn(1<<14))<<6, i%5 == 0)
+	}
+	for clos := 0; clos < 2; clos++ {
+		st := c.Stats(clos)
+		if rec.hits[clos] != st.Hits || rec.misses[clos] != st.Misses {
+			t.Errorf("clos %d: recorder hits/misses %d/%d, stats %d/%d",
+				clos, rec.hits[clos], rec.misses[clos], st.Hits, st.Misses)
+		}
+		if rec.installs[clos] != st.Installs {
+			t.Errorf("clos %d: recorder installs %d, stats %d", clos, rec.installs[clos], st.Installs)
+		}
+		if rec.evCaused[clos] != st.EvictionsCaused || rec.evSuffered[clos] != st.EvictionsSuffered {
+			t.Errorf("clos %d: recorder evictions %d/%d, stats %d/%d", clos,
+				rec.evCaused[clos], rec.evSuffered[clos], st.EvictionsCaused, st.EvictionsSuffered)
+		}
+		if rec.occupancy[clos] != c.Occupancy(clos) {
+			t.Errorf("clos %d: recorder occupancy %d, cache %d", clos, rec.occupancy[clos], c.Occupancy(clos))
+		}
+	}
+	if rec.evCaused[0]+rec.evCaused[1] == 0 {
+		t.Error("overlapping masks produced no cross-CLOS evictions; test is vacuous")
+	}
+	if rec.writesObserved == 0 {
+		t.Error("no writes observed")
+	}
+}
+
+// TestRecorderPrefetchInstalls checks prefetch fills reach the recorder as
+// installs without demand-access events.
+func TestRecorderPrefetchInstalls(t *testing.T) {
+	c, err := New(Config{Sets: 8, Ways: 2, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newCountingRecorder()
+	c.SetRecorder(2, rec)
+	if !c.Prefetch(0, 0) {
+		t.Fatal("prefetch of empty cache did not fill")
+	}
+	if c.Prefetch(0, 0) {
+		t.Fatal("re-prefetch of resident line filled")
+	}
+	if rec.installs[0] != 1 || rec.occupancy[0] != 1 {
+		t.Fatalf("installs=%d occupancy=%d, want 1/1", rec.installs[0], rec.occupancy[0])
+	}
+	if len(rec.accessesByLvl) != 0 {
+		t.Fatalf("prefetch produced demand-access events: %v", rec.accessesByLvl)
+	}
+}
+
+// TestHierarchyRecorderLevels checks hierarchy wiring tags events with the
+// right level at every layer.
+func TestHierarchyRecorderLevels(t *testing.T) {
+	h, err := NewHierarchy(HierarchyConfig{
+		Cores: 2,
+		L1:    Config{Sets: 4, Ways: 2, LineSize: 64},
+		L2:    Config{Sets: 8, Ways: 4, LineSize: 64},
+		LLC:   Config{Sets: 64, Ways: 8, LineSize: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newCountingRecorder()
+	h.SetRecorder(rec)
+	r := stats.NewRNG(7)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		h.Access(i&1, i&1, uint64(r.Intn(1<<16))<<6, false)
+	}
+	if rec.accessesByLvl[int(LevelL1)] != n {
+		t.Errorf("L1 accesses = %d, want %d", rec.accessesByLvl[int(LevelL1)], n)
+	}
+	for _, lvl := range []Level{LevelL2, LevelLLC} {
+		if rec.accessesByLvl[int(lvl)] == 0 {
+			t.Errorf("no events tagged %v", lvl)
+		}
+	}
+	// Detach: events must stop.
+	before := rec.accessesByLvl[int(LevelL1)]
+	h.SetRecorder(nil)
+	h.Access(0, 0, 0, false)
+	if rec.accessesByLvl[int(LevelL1)] != before {
+		t.Error("events recorded after detach")
+	}
+}
+
+// TestObsCacheRecorderSatisfiesInterface pins the structural contract
+// between the cache simulator and the obs metrics layer, and checks the
+// published counter names.
+func TestObsCacheRecorderSatisfiesInterface(t *testing.T) {
+	reg := obs.NewRegistry()
+	var rec Recorder = obs.NewCacheRecorder(reg)
+	c, err := New(Config{Sets: 8, Ways: 2, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRecorder(int(LevelLLC), rec)
+	c.Access(3, 0, false) // miss + fresh install
+	c.Access(3, 0, false) // hit
+	if got := reg.Counter("cache/llc/clos3/hits").Load(); got != 1 {
+		t.Errorf("hits counter = %d, want 1", got)
+	}
+	if got := reg.Counter("cache/llc/clos3/misses").Load(); got != 1 {
+		t.Errorf("misses counter = %d, want 1", got)
+	}
+	if got := reg.Gauge("cache/llc/clos3/occupancy").Load(); got != 1 {
+		t.Errorf("occupancy gauge = %v, want 1", got)
+	}
+}
+
+// TestNilRecorderZeroAllocs is the guard the tentpole demands: with no
+// recorder attached, the full hierarchy access path must allocate nothing.
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	h, err := NewHierarchy(HierarchyConfig{
+		Cores: 4,
+		L1:    Config{Sets: 8, Ways: 4, LineSize: 64},
+		L2:    Config{Sets: 32, Ways: 8, LineSize: 64},
+		LLC:   Config{Sets: 512, Ways: 20, LineSize: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 19))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(20000, func() {
+		h.Access(i&3, i&3, addrs[i&4095], false)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-recorder hierarchy access allocates %v bytes-ish per op, want 0", allocs)
+	}
+}
+
+// TestRecorderAttachedStillZeroAllocs: the obs adapter's record path is
+// atomic-only, so even *with* recording enabled the access path stays
+// allocation-free after slots warm up.
+func TestRecorderAttachedStillZeroAllocs(t *testing.T) {
+	h, err := NewHierarchy(HierarchyConfig{
+		Cores: 1,
+		L1:    Config{Sets: 8, Ways: 4, LineSize: 64},
+		L2:    Config{Sets: 32, Ways: 8, LineSize: 64},
+		LLC:   Config{Sets: 512, Ways: 20, LineSize: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetRecorder(obs.NewCacheRecorder(obs.NewRegistry()))
+	r := stats.NewRNG(2)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 19))
+	}
+	for i := 0; i < 8192; i++ { // warm the recorder's lazy slots
+		h.Access(0, 0, addrs[i&4095], false)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(20000, func() {
+		h.Access(0, 0, addrs[i&4095], false)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("recording hierarchy access allocates %v per op, want 0", allocs)
+	}
+}

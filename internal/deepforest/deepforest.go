@@ -9,8 +9,10 @@ package deepforest
 
 import (
 	"fmt"
+	"strconv"
 
 	"stac/internal/forest"
+	"stac/internal/obs"
 	"stac/internal/stats"
 )
 
@@ -195,10 +197,13 @@ func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Model, erro
 		return nil, err
 	}
 	model := &Model{cfg: cfg}
+	defer obs.Span("deepforest/train")()
 
 	// --- Multi-grain scanning ---
 	for _, win := range cfg.Windows {
+		grainSpan := obs.StartSpan("deepforest/mgs/w" + strconv.Itoa(win.Size))
 		g, err := trainGrain(x, y, cfg, win, rng.Split())
+		grainSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -217,6 +222,7 @@ func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Model, erro
 		concepts[i] = nil
 	}
 	for level := 0; level < cfg.CascadeLevels; level++ {
+		levelSpan := obs.StartSpan("deepforest/cascade/level" + strconv.Itoa(level))
 		input := augment(base, concepts)
 		levelForests := make([]*forest.Forest, cfg.ForestsPerLevel)
 		next := make([][]float64, len(x))
@@ -227,6 +233,7 @@ func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Model, erro
 			fcfg := cascadeForestConfig(cfg, f)
 			oof, full, err := crossFit(input, y, fcfg, cfg.KFolds, rng.Split())
 			if err != nil {
+				levelSpan.End()
 				return nil, err
 			}
 			levelForests[f] = full
@@ -236,6 +243,7 @@ func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Model, erro
 		}
 		model.cascade = append(model.cascade, levelForests)
 		concepts = next
+		levelSpan.End()
 	}
 	return model, nil
 }

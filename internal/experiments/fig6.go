@@ -5,6 +5,7 @@ import (
 
 	"stac/internal/core"
 	"stac/internal/neural"
+	"stac/internal/obs"
 	"stac/internal/par"
 	"stac/internal/profile"
 	"stac/internal/stats"
@@ -47,6 +48,7 @@ func Fig6(opts Options) (*Report, error) {
 	perPair := make([]pairResult, len(pairs))
 	if err := par.ForEach(opts.Workers, len(pairs), func(pi int) error {
 		pair := pairs[pi]
+		defer obs.Span("fig6/pair/" + pair.String())()
 		seed := opts.Seed + uint64(pi)*101
 		ds, err := collectPair(pair, nPoints, queries, 0, seed, opts.Workers)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"stac/internal/core"
 	"stac/internal/deepforest"
+	"stac/internal/obs"
 	"stac/internal/profile"
 	"stac/internal/stats"
 	"stac/internal/testbed"
@@ -72,9 +73,17 @@ func resetDatasetCache() {
 }
 
 func cachedCollect(key collectKey, collect func() (profile.Dataset, error)) (profile.Dataset, error) {
+	obs.C("collect/requests").Inc()
 	e, _ := datasetCache.LoadOrStore(key, &collectEntry{})
 	entry := e.(*collectEntry)
-	entry.once.Do(func() { entry.ds, entry.err = collect() })
+	entry.once.Do(func() {
+		// Cache-hit rate for snapshots is collect/requests minus
+		// collect/collections; the span tree shows where profiling time
+		// actually went, keyed by pair.
+		obs.C("collect/collections").Inc()
+		defer obs.Span("collect/" + key.pair)()
+		entry.ds, entry.err = collect()
+	})
 	return entry.ds, entry.err
 }
 
@@ -154,12 +163,14 @@ func datasetScale(opts Options) (nPoints, queries int) {
 // trainPipeline trains the full deep-forest pipeline on a training split.
 func trainPipeline(train profile.Dataset, opts Options, seed uint64) (*core.Predictor, *deepforest.Model, time.Duration, error) {
 	cfg := dfConfig(train.Schema, opts)
+	defer obs.Span("train/pipeline")()
 	start := time.Now()
 	model, err := core.TrainDeepForestEA(train, cfg, stats.NewRNG(seed))
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	elapsed := time.Since(start)
+	obs.H("train/pipeline_seconds").Observe(elapsed.Seconds())
 	p, err := core.NewPredictor(model, train, 2)
 	if err != nil {
 		return nil, nil, 0, err

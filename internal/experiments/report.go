@@ -16,6 +16,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"stac/internal/obs"
 )
 
 // Report is the renderable result of one experiment.
@@ -161,6 +163,7 @@ func Run(id string, opts Options) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
+	defer obs.Span("experiment/" + id)()
 	return g(opts.defaults())
 }
 

@@ -2,9 +2,16 @@ package forest
 
 import (
 	"fmt"
+	"time"
 
+	"stac/internal/obs"
 	"stac/internal/par"
 	"stac/internal/stats"
+)
+
+var (
+	forestTrainSeconds = obs.H("forest/train_seconds")
+	forestTreesTrained = obs.C("forest/trees_trained")
 )
 
 // Config controls forest training.
@@ -59,11 +66,14 @@ func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Forest, err
 	// Derive per-tree RNGs up front for determinism.
 	rngs := rng.SplitN(cfg.Trees)
 	trees := make([]*Tree, cfg.Trees)
+	t0 := time.Now()
 	if err := par.ForEach(cfg.Workers, cfg.Trees, func(t int) error {
 		return buildForestTree(x, y, cfg, t, rngs[t], trees)
 	}); err != nil {
 		return nil, err
 	}
+	forestTrainSeconds.Observe(time.Since(t0).Seconds())
+	forestTreesTrained.Add(uint64(cfg.Trees))
 	return &Forest{trees: trees}, nil
 }
 

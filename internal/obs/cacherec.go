@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache-recorder dimensions: hierarchy levels 1..3 (L1/L2/LLC) plus 0 for
+// untagged caches, and the simulator's 16 CAT classes of service.
+const (
+	recLevels = 4
+	recCLOS   = 16
+)
+
+var recLevelNames = [recLevels]string{"l0", "l1", "l2", "llc"}
+
+// closMetrics is one (level, CLOS) slot's pre-resolved metric handles.
+type closMetrics struct {
+	hits, misses      *Counter
+	installs          *Counter
+	evictionsCaused   *Counter
+	evictionsSuffered *Counter
+	occupancy         *Gauge
+}
+
+// CacheRecorder aggregates cache-simulator events into a registry as
+// per-level, per-CLOS counters named "cache/<level>/clos<k>/<event>" plus
+// an occupancy gauge maintained from fresh-install/eviction deltas. It
+// implements the cache package's Recorder interface (structurally, so
+// neither package imports the other). Metric slots materialise lazily on
+// the first event of each (level, CLOS) pair — idle classes never appear
+// in snapshots — and events after the first are a few atomic increments.
+//
+// The occupancy gauge tracks net fills observed since the recorder was
+// attached; flushing or swapping the underlying cache without resetting
+// the registry leaves it stale.
+type CacheRecorder struct {
+	reg   *Registry
+	mu    sync.Mutex
+	slots [recLevels][recCLOS]atomic.Pointer[closMetrics]
+}
+
+// NewCacheRecorder returns a recorder that publishes into reg (Default
+// when nil).
+func NewCacheRecorder(reg *Registry) *CacheRecorder {
+	if reg == nil {
+		reg = Default
+	}
+	return &CacheRecorder{reg: reg}
+}
+
+func (cr *CacheRecorder) slot(level, clos int) *closMetrics {
+	if level < 0 || level >= recLevels {
+		level = 0
+	}
+	if clos < 0 || clos >= recCLOS {
+		clos = 0
+	}
+	if m := cr.slots[level][clos].Load(); m != nil {
+		return m
+	}
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	if m := cr.slots[level][clos].Load(); m != nil {
+		return m
+	}
+	prefix := "cache/" + recLevelNames[level] + "/clos" + strconv.Itoa(clos) + "/"
+	m := &closMetrics{
+		hits:              cr.reg.Counter(prefix + "hits"),
+		misses:            cr.reg.Counter(prefix + "misses"),
+		installs:          cr.reg.Counter(prefix + "installs"),
+		evictionsCaused:   cr.reg.Counter(prefix + "evictions_caused"),
+		evictionsSuffered: cr.reg.Counter(prefix + "evictions_suffered"),
+		occupancy:         cr.reg.Gauge(prefix + "occupancy"),
+	}
+	cr.slots[level][clos].Store(m)
+	return m
+}
+
+// CacheAccess counts one demand access.
+func (cr *CacheRecorder) CacheAccess(level, clos int, hit, write bool) {
+	m := cr.slot(level, clos)
+	if hit {
+		m.hits.Inc()
+	} else {
+		m.misses.Inc()
+	}
+}
+
+// CacheInstall counts a fill; a fresh fill grows the CLOS's occupancy.
+func (cr *CacheRecorder) CacheInstall(level, clos int, fresh bool) {
+	m := cr.slot(level, clos)
+	m.installs.Inc()
+	if fresh {
+		m.occupancy.Add(1)
+	}
+}
+
+// CacheEviction moves one line of occupancy from victim to causer and
+// counts both sides of the contention event.
+func (cr *CacheRecorder) CacheEviction(level, causer, victim int) {
+	mc := cr.slot(level, causer)
+	mv := cr.slot(level, victim)
+	mc.evictionsCaused.Inc()
+	mc.occupancy.Add(1)
+	mv.evictionsSuffered.Inc()
+	mv.occupancy.Add(-1)
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue summarises one histogram in a snapshot.
+type HistogramValue struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// SpanNode is one node of the run-trace tree: the aggregate of every span
+// recorded at Path, with children grouped by slash-separated path prefix.
+// Interior paths that were never directly spanned appear with Count 0.
+type SpanNode struct {
+	Name         string      `json:"name"`
+	Path         string      `json:"path"`
+	Count        uint64      `json:"count"`
+	Active       int64       `json:"active,omitempty"`
+	TotalSeconds float64     `json:"total_seconds"`
+	MeanSeconds  float64     `json:"mean_seconds"`
+	MinSeconds   float64     `json:"min_seconds"`
+	MaxSeconds   float64     `json:"max_seconds"`
+	Children     []*SpanNode `json:"children,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered so that equal
+// registry contents always serialise to identical bytes.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+	Spans      []*SpanNode      `json:"spans"`
+}
+
+// Snapshot captures the registry's current state. Metrics are sorted by
+// name and spans assembled into the trace tree, so two registries that
+// recorded the same values snapshot to identical structures regardless of
+// registration order.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	spans := make(map[string]*spanStat, len(r.spans))
+	for k, v := range r.spans {
+		spans[k] = v
+	}
+	r.mu.RUnlock()
+
+	s := &Snapshot{
+		Counters:   make([]CounterValue, 0, len(counters)),
+		Gauges:     make([]GaugeValue, 0, len(gauges)),
+		Histograms: make([]HistogramValue, 0, len(hists)),
+	}
+	for _, name := range sortedKeys(counters) {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: counters[name].Load()})
+	}
+	for _, name := range sortedKeys(gauges) {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: gauges[name].Load()})
+	}
+	for _, name := range sortedKeys(hists) {
+		hs := hists[name].snap()
+		hv := HistogramValue{Name: name, Count: hs.count}
+		if hs.count > 0 {
+			hv.Sum = hs.sum
+			hv.Mean = hs.sum / float64(hs.count)
+			hv.Min = hs.min
+			hv.Max = hs.max
+			hv.P50 = hs.quantile(0.50)
+			hv.P95 = hs.quantile(0.95)
+			hv.P99 = hs.quantile(0.99)
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	s.Spans = buildSpanTree(spans)
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// buildSpanTree nests span aggregates by slash-separated path prefix,
+// synthesising interior nodes for paths that were never directly spanned
+// ("fig6/pair/redis+bfs" with no "fig6" span still hangs under a fig6
+// node). Siblings are ordered by name.
+func buildSpanTree(spans map[string]*spanStat) []*SpanNode {
+	nodes := make(map[string]*SpanNode)
+	node := func(path string) *SpanNode {
+		if n, ok := nodes[path]; ok {
+			return n
+		}
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		n := &SpanNode{Name: name, Path: path}
+		nodes[path] = n
+		return n
+	}
+	for _, path := range sortedKeys(spans) {
+		st := spans[path]
+		n := node(path)
+		n.Count = st.count.Load()
+		n.Active = st.active.Load()
+		if n.Count > 0 {
+			n.TotalSeconds = float64(st.totalNs.Load()) / 1e9
+			n.MeanSeconds = n.TotalSeconds / float64(n.Count)
+			n.MinSeconds = float64(st.minNs.Load()) / 1e9
+			n.MaxSeconds = float64(st.maxNs.Load()) / 1e9
+		}
+	}
+	// Link children to parents, creating interior nodes as needed.
+	paths := sortedKeys(nodes)
+	var roots []*SpanNode
+	for _, path := range paths {
+		n := nodes[path]
+		i := strings.LastIndexByte(path, '/')
+		if i < 0 {
+			roots = append(roots, n)
+			continue
+		}
+		parentPath := path[:i]
+		created := nodes[parentPath] == nil
+		p := node(parentPath)
+		p.Children = append(p.Children, n)
+		if created {
+			// A synthesised ancestor still needs linking to *its* parent;
+			// walk upward until an existing node or a root is reached.
+			for {
+				j := strings.LastIndexByte(parentPath, '/')
+				if j < 0 {
+					roots = append(roots, p)
+					break
+				}
+				gpPath := parentPath[:j]
+				gpCreated := nodes[gpPath] == nil
+				gp := node(gpPath)
+				gp.Children = append(gp.Children, p)
+				if !gpCreated {
+					break
+				}
+				parentPath, p = gpPath, gp
+			}
+		}
+	}
+	sortSpanNodes(roots)
+	return roots
+}
+
+func sortSpanNodes(ns []*SpanNode) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].Path < ns[j].Path })
+	for _, n := range ns {
+		sortSpanNodes(n.Children)
+	}
+}
+
+// WriteJSON writes an indented, deterministic JSON snapshot to w.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON serialises the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

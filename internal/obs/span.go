@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// spanStat aggregates every completed span recorded at one path: spans
+// are statistics keyed by where in the pipeline they ran, not individual
+// trace events, so instrumenting a phase that executes thousands of times
+// costs a fixed handful of words.
+type spanStat struct {
+	count   atomic.Uint64
+	totalNs atomic.Int64
+	minNs   atomic.Int64
+	maxNs   atomic.Int64
+	active  atomic.Int64 // spans started but not yet ended
+}
+
+func newSpanStat() *spanStat {
+	s := &spanStat{}
+	s.minNs.Store(math.MaxInt64)
+	s.maxNs.Store(math.MinInt64)
+	return s
+}
+
+func (s *spanStat) record(d time.Duration) {
+	ns := int64(d)
+	s.count.Add(1)
+	s.totalNs.Add(ns)
+	for {
+		old := s.minNs.Load()
+		if ns >= old || s.minNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := s.maxNs.Load()
+		if ns <= old || s.maxNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	s.active.Add(-1)
+}
+
+// spanStat looks up or creates the aggregate for a path.
+func (r *Registry) spanStat(path string) *spanStat {
+	r.mu.RLock()
+	s, ok := r.spans[path]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.spans[path]; ok {
+		return s
+	}
+	s = newSpanStat()
+	r.spans[path] = s
+	return s
+}
+
+// Timing is an in-flight span. It is a value type so starting and ending
+// a span allocates nothing.
+type Timing struct {
+	stat  *spanStat
+	start time.Time
+}
+
+// End completes the span, folding its duration into the path aggregate.
+func (t Timing) End() {
+	if t.stat != nil {
+		t.stat.record(time.Since(t.start))
+	}
+}
+
+// StartSpan begins timing one execution of the phase identified by the
+// slash-separated path ("fig6/pair/redis+bfs"). Paths nest by prefix in
+// the snapshot's trace tree. End the returned Timing exactly once.
+func (r *Registry) StartSpan(path string) Timing {
+	s := r.spanStat(path)
+	s.active.Add(1)
+	return Timing{stat: s, start: time.Now()}
+}
+
+// Span begins a span and returns the function that ends it, for the
+// one-line defer form: defer r.Span("train/deepforest")(). The closure
+// allocates; use StartSpan from allocation-sensitive code.
+func (r *Registry) Span(path string) func() {
+	t := r.StartSpan(path)
+	return t.End
+}

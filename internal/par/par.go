@@ -10,6 +10,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"stac/internal/obs"
+)
+
+// Pool metrics, resolved once at init so the per-task cost is a couple of
+// clock reads and atomic updates. Queue depth is tracked as a gauge pair:
+// par/queued counts tasks accepted but not yet started (cancelled tasks
+// are drained back out on return), par/inflight counts tasks currently
+// executing.
+var (
+	parBatches      = obs.C("par/batches")
+	parTasks        = obs.C("par/tasks")
+	parQueued       = obs.G("par/queued")
+	parInflight     = obs.G("par/inflight")
+	parTaskSeconds  = obs.H("par/task_seconds")
+	parBatchSeconds = obs.H("par/batch_seconds")
 )
 
 // Workers resolves a requested worker count: values <= 0 mean
@@ -40,9 +57,30 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	parBatches.Inc()
+	parQueued.Add(float64(n))
+	batchStart := time.Now()
+	var started atomic.Int64
+	run := func(i int) error {
+		started.Add(1)
+		parQueued.Add(-1)
+		parInflight.Add(1)
+		t0 := time.Now()
+		err := fn(i)
+		parTaskSeconds.Observe(time.Since(t0).Seconds())
+		parInflight.Add(-1)
+		parTasks.Inc()
+		return err
+	}
+	// Drain tasks that error-cancellation kept from ever starting, so the
+	// queued gauge returns to its pre-batch level.
+	defer func() {
+		parQueued.Add(float64(started.Load()) - float64(n))
+		parBatchSeconds.Observe(time.Since(batchStart).Seconds())
+	}()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := run(i); err != nil {
 				return err
 			}
 		}
@@ -58,7 +96,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				if err := fn(i); err != nil {
+				if err := run(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}

@@ -8,6 +8,7 @@ import (
 	"stac/internal/cache"
 	"stac/internal/cat"
 	"stac/internal/counters"
+	"stac/internal/obs"
 	"stac/internal/stats"
 	"stac/internal/workload"
 )
@@ -296,7 +297,62 @@ func (m *Machine) Run() (*RunResult, error) {
 			BoostRatio:     s.boostRatio,
 		})
 	}
+	m.publishMetrics(now)
 	return res, nil
+}
+
+// publishMetrics folds the finished run's cache accounting and query
+// outcomes into the process-wide obs registry. Publication happens once
+// per run as bulk adds from the simulator's own Stats — the per-access
+// Recorder hook stays detached, so the hot path keeps its nil-recorder
+// cost while `stac -metrics` snapshots still carry cache totals for
+// every profiled condition. All metrics are sums/distributions over
+// runs; the occupancy gauge reports the most recently finished run.
+func (m *Machine) publishMetrics(simTime float64) {
+	obs.C("testbed/runs").Inc()
+	obs.H("testbed/sim_seconds").Observe(simTime)
+	var l1, l2 cache.Stats
+	for core := 0; core < len(m.svcs)*m.cond.CoresPerService; core++ {
+		addStats(&l1, m.h.L1Stats(core))
+		addStats(&l2, m.h.L2Stats(core))
+	}
+	publishLevel("cache/l1/", l1)
+	publishLevel("cache/l2/", l2)
+	respHist := obs.H("testbed/response_seconds")
+	depthHist := obs.H("testbed/queue_depth")
+	for _, s := range m.svcs {
+		llc := m.h.LLC().Stats(s.clos)
+		prefix := "cache/llc/svc/" + s.name + "/"
+		publishLevel(prefix, llc)
+		obs.G(prefix + "occupancy").Set(float64(m.h.LLC().Occupancy(s.clos)))
+		obs.C("testbed/queries").Add(uint64(len(s.measured)))
+		for _, q := range s.measured {
+			respHist.Observe(q.Completion - q.Arrival)
+		}
+		for _, d := range s.queueDepths {
+			depthHist.Observe(d)
+		}
+	}
+}
+
+func addStats(dst *cache.Stats, s cache.Stats) {
+	dst.Loads += s.Loads
+	dst.Stores += s.Stores
+	dst.Hits += s.Hits
+	dst.Misses += s.Misses
+	dst.LoadMisses += s.LoadMisses
+	dst.StoreMisses += s.StoreMisses
+	dst.Installs += s.Installs
+	dst.EvictionsCaused += s.EvictionsCaused
+	dst.EvictionsSuffered += s.EvictionsSuffered
+}
+
+func publishLevel(prefix string, s cache.Stats) {
+	obs.C(prefix + "hits").Add(s.Hits)
+	obs.C(prefix + "misses").Add(s.Misses)
+	obs.C(prefix + "installs").Add(s.Installs)
+	obs.C(prefix + "evictions_caused").Add(s.EvictionsCaused)
+	obs.C(prefix + "evictions_suffered").Add(s.EvictionsSuffered)
 }
 
 // admit moves arrived queries from the source into the proxy queue.

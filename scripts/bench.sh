@@ -8,8 +8,11 @@
 # or by diffing the JSON.
 #
 # Usage:
-#   scripts/bench.sh           full run (8 samples per benchmark)
-#   scripts/bench.sh -short    CI-sized run (3 samples, short benchtime)
+#   scripts/bench.sh            full run (8 samples per benchmark)
+#   scripts/bench.sh -short     CI-sized run (3 samples, short benchtime)
+#   scripts/bench.sh --compare  CI-sized run, then print a per-benchmark
+#                               markdown delta table against the committed
+#                               baseline (git show HEAD:BENCH_cache.json)
 #
 # Environment:
 #   BENCH_OUT   output path (default BENCH_cache.json at the repo root)
@@ -19,12 +22,32 @@ cd "$(dirname "$0")/.."
 MODE=full
 COUNT=8
 BENCHTIME=1s
-if [[ "${1:-}" == "-short" ]]; then
+COMPARE=0
+case "${1:-}" in
+-short)
     MODE=short
     COUNT=3
     BENCHTIME=0.2s
-fi
+    ;;
+--compare)
+    MODE=short
+    COUNT=3
+    BENCHTIME=0.2s
+    COMPARE=1
+    ;;
+esac
 OUT=${BENCH_OUT:-BENCH_cache.json}
+
+# Snapshot the committed baseline before the run overwrites $OUT.
+BASELINE=""
+if [[ "$COMPARE" == 1 ]]; then
+    BASELINE=$(mktemp)
+    if ! git show HEAD:BENCH_cache.json > "$BASELINE" 2>/dev/null; then
+        echo "bench.sh: no committed BENCH_cache.json at HEAD; nothing to compare" >&2
+        rm -f "$BASELINE"
+        BASELINE=""
+    fi
+fi
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -92,3 +115,44 @@ with open(out, "w") as f:
     f.write("\n")
 print(f"wrote {out}")
 PYEOF
+
+# --compare: render the per-benchmark delta table. ns/op compares the
+# per-benchmark minimum (least scheduler noise); memory columns only show
+# when they changed. Informational only — the CI bench job is non-blocking.
+if [[ -n "$BASELINE" ]]; then
+    echo
+    echo "== delta vs committed baseline (HEAD:BENCH_cache.json) =="
+    python3 - "$BASELINE" "$OUT" <<'PYEOF'
+import json
+import sys
+
+base = json.load(open(sys.argv[1]))
+cur = json.load(open(sys.argv[2]))
+bb, cb = base.get("benchmarks", {}), cur.get("benchmarks", {})
+
+print(f"baseline: {base.get('git', '?')} ({base.get('go', '?')}, {base.get('mode', '?')} mode)")
+print(f"current:  {cur.get('git', '?')} ({cur.get('go', '?')}, {cur.get('mode', '?')} mode)")
+print()
+print("| benchmark | baseline ns/op | current ns/op | delta | alloc change |")
+print("|---|---|---|---|---|")
+for name in sorted(set(bb) | set(cb)):
+    b, c = bb.get(name), cb.get(name)
+    if b is None or c is None:
+        status = "added" if b is None else "removed"
+        print(f"| {name} | {'—' if b is None else b['ns_per_op_min']} "
+              f"| {'—' if c is None else c['ns_per_op_min']} | {status} | |")
+        continue
+    b_ns, c_ns = b["ns_per_op_min"], c["ns_per_op_min"]
+    delta = (c_ns - b_ns) / b_ns * 100 if b_ns else 0.0
+    mem = ""
+    if (b.get("bytes_per_op"), b.get("allocs_per_op")) != (c.get("bytes_per_op"), c.get("allocs_per_op")):
+        mem = (f"{b.get('bytes_per_op', 0)}B/{b.get('allocs_per_op', 0)} -> "
+               f"{c.get('bytes_per_op', 0)}B/{c.get('allocs_per_op', 0)}")
+    print(f"| {name} | {b_ns:.2f} | {c_ns:.2f} | {delta:+.1f}% | {mem} |")
+
+bw, cw = base.get("fig6_wall_clock_seconds"), cur.get("fig6_wall_clock_seconds")
+if bw and cw:
+    print(f"| fig6 wall clock | {bw:.2f}s | {cw:.2f}s | {(cw - bw) / bw * 100:+.1f}% | |")
+PYEOF
+    rm -f "$BASELINE"
+fi
