@@ -1,0 +1,54 @@
+package cache
+
+// Verification surface: read-only introspection used by the differential
+// oracle (internal/oracle) and tests to compare the packed-metadata
+// implementation against the naive reference model. Nothing here is on
+// the hot path, and nothing here mutates simulator state.
+
+// Line describes one resident cache line.
+type Line struct {
+	Set, Way int
+	Tag      uint64
+	CLOS     int
+	// LastUse is the recency stamp replacement decisions read; exposing
+	// it lets the oracle pin the full replacement-relevant state, not
+	// just the tag array.
+	LastUse uint64
+}
+
+// ResidentLines returns every valid line in (set, way) order, decoded
+// from the packed per-set metadata.
+func (c *Cache) ResidentLines() []Line {
+	var out []Line
+	for s := 0; s < c.cfg.Sets; s++ {
+		valid := c.meta[s*c.stride+metaValid]
+		base := s * c.ways
+		for w := 0; w < c.ways; w++ {
+			if valid&(1<<uint(w)) == 0 {
+				continue
+			}
+			out = append(out, Line{
+				Set: s, Way: w,
+				Tag:     c.tags[base+w],
+				CLOS:    int(c.owner[base+w]),
+				LastUse: c.lastUse[base+w],
+			})
+		}
+	}
+	return out
+}
+
+// Contains reports whether the line holding addr is resident, without
+// perturbing recency, statistics or replacement state.
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr >> c.setShift
+	set := int(lineAddr & c.setMask)
+	tag := lineAddr >> c.tagShift
+	return c.probe(set*c.stride, set*c.ways, tag) >= 0
+}
+
+// L1Cache exposes a core's private L1 (verification surface).
+func (h *Hierarchy) L1Cache(core int) *Cache { return h.l1[core] }
+
+// L2Cache exposes a core's private L2 (verification surface).
+func (h *Hierarchy) L2Cache(core int) *Cache { return h.l2[core] }

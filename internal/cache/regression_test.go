@@ -1,0 +1,123 @@
+package cache_test
+
+import (
+	"testing"
+
+	"stac/internal/cache"
+	"stac/internal/oracle"
+)
+
+// Minimized differential regressions for the corners of the packed
+// implementation most likely to break under refactoring: SWAR signature
+// probing, multi-word valid masks, mask reprogramming mid-stream and the
+// shared replacement RNG. Each case is a short hand-written op stream
+// replayed through internal/cache and the oracle with full-state
+// comparison after every step (checkEvery=1). Fuzzing found no
+// divergences in the current implementation; these pin the hard cases so
+// a future regression fails with a 5-line trace instead of a corpus blob.
+
+func diffExact(t *testing.T, cfg cache.Config, nclos int, ops []oracle.Op) {
+	t.Helper()
+	if d := oracle.DiffCache(cfg, nclos, ops, 1); d != nil {
+		t.Fatal(d)
+	}
+}
+
+// TestRegressionBypassThenReprogram pins the empty-mask bypass path: a
+// CLOS with a zero CBM must install nothing (misses accrue, occupancy
+// stays zero), and reprogramming it back to a real mask mid-stream must
+// immediately restore fills without disturbing other CLOS' lines.
+func TestRegressionBypassThenReprogram(t *testing.T) {
+	cfg := cache.Config{Sets: 2, Ways: 4, LineSize: 64}
+	diffExact(t, cfg, 2, []oracle.Op{
+		{Kind: oracle.OpAccess, CLOS: 0, Addr: 0},
+		{Kind: oracle.OpSetMask, CLOS: 1, Mask: 0},
+		{Kind: oracle.OpAccess, CLOS: 1, Addr: 128},
+		{Kind: oracle.OpAccess, CLOS: 1, Addr: 128}, // still a miss: nothing was installed
+		{Kind: oracle.OpPrefetch, CLOS: 1, Addr: 256},
+		{Kind: oracle.OpSetMask, CLOS: 1, Mask: 0b0110},
+		{Kind: oracle.OpAccess, CLOS: 1, Addr: 128}, // fills again
+		{Kind: oracle.OpAccess, CLOS: 1, Addr: 128}, // and now hits
+		{Kind: oracle.OpAccess, CLOS: 0, Addr: 0},   // CLOS 0's line untouched
+	})
+}
+
+// TestRegressionStalePLRUMarksAfterFlush pins bit-PLRU mark lifetime:
+// Flush clears only valid bits, so stale MRU marks survive on
+// invalidated ways and must be aged out by the all-marked reset rule,
+// not consulted as if still meaningful.
+func TestRegressionStalePLRUMarksAfterFlush(t *testing.T) {
+	cfg := cache.Config{Sets: 1, Ways: 4, LineSize: 64, Replace: cache.ReplaceBitPLRU}
+	ops := []oracle.Op{}
+	// Mark every way, then flush: marks are now all stale.
+	for i := 0; i < 4; i++ {
+		ops = append(ops, oracle.Op{Kind: oracle.OpAccess, Addr: uint64(i) * 64})
+	}
+	ops = append(ops, oracle.Op{Kind: oracle.OpFlush})
+	// Refill and keep touching: victim selection must agree at every step.
+	for i := 0; i < 12; i++ {
+		ops = append(ops, oracle.Op{Kind: oracle.OpAccess, Addr: uint64(i%6) * 64})
+	}
+	diffExact(t, cfg, 1, ops)
+}
+
+// TestRegression64WayMultiWord pins the widest geometry: at 64 ways the
+// packed valid mask saturates a full uint64 and the signature array
+// spans eight metadata words, so word-boundary indexing bugs surface
+// here first.
+func TestRegression64WayMultiWord(t *testing.T) {
+	cfg := cache.Config{Sets: 1, Ways: 64, LineSize: 64, Replace: cache.ReplaceBitPLRU}
+	ops := []oracle.Op{{Kind: oracle.OpSetMask, CLOS: 1, Mask: 0xFFFF_0000_0000_0000}}
+	// Fill past capacity so eviction crosses signature-word boundaries.
+	for i := 0; i < 80; i++ {
+		ops = append(ops, oracle.Op{Kind: oracle.OpAccess, CLOS: i % 2, Addr: uint64(i) * 64})
+	}
+	for i := 0; i < 80; i += 3 {
+		ops = append(ops, oracle.Op{Kind: oracle.OpAccess, CLOS: 1, Addr: uint64(i) * 64})
+	}
+	diffExact(t, cfg, 2, ops)
+}
+
+// TestRegressionSignatureAliasing pins SWAR false-positive handling: two
+// tags equal modulo 256 share a signature byte, so the packed probe's
+// candidate mask contains a way the full-tag check must reject.
+func TestRegressionSignatureAliasing(t *testing.T) {
+	cfg := cache.Config{Sets: 1, Ways: 4, LineSize: 64}
+	// With one set, addr = tag * 64: tags 1, 257 and 513 all alias byte 0x01.
+	diffExact(t, cfg, 1, []oracle.Op{
+		{Kind: oracle.OpAccess, Addr: 1 * 64},
+		{Kind: oracle.OpAccess, Addr: 257 * 64}, // alias: must miss, not hit way 0
+		{Kind: oracle.OpAccess, Addr: 513 * 64}, // alias of both
+		{Kind: oracle.OpAccess, Addr: 1 * 64},   // real hit among aliases
+		{Kind: oracle.OpAccess, Addr: 257 * 64},
+		{Kind: oracle.OpAccess, Addr: 769 * 64},  // fourth alias fills last way
+		{Kind: oracle.OpAccess, Addr: 1025 * 64}, // fifth forces eviction among aliases
+		{Kind: oracle.OpAccess, Addr: 513 * 64},
+	})
+}
+
+// TestRegressionRandomRNGLockstep pins the deterministic xorshift
+// contract: random replacement must consume exactly one draw per
+// policy-decided victim (none for invalid-way fills or bypasses), so the
+// two implementations stay in lockstep across a long eviction sequence.
+func TestRegressionRandomRNGLockstep(t *testing.T) {
+	cfg := cache.Config{Sets: 2, Ways: 4, LineSize: 64, Replace: cache.ReplaceRandom}
+	ops := []oracle.Op{}
+	// Warm up through the invalid-fill phase (no draws), then thrash
+	// (one draw per miss), with a bypass interlude (no draws) in between.
+	for i := 0; i < 8; i++ {
+		ops = append(ops, oracle.Op{Kind: oracle.OpAccess, Addr: uint64(i) * 64})
+	}
+	for i := 8; i < 40; i++ {
+		ops = append(ops, oracle.Op{Kind: oracle.OpAccess, Addr: uint64(i) * 64})
+	}
+	ops = append(ops, oracle.Op{Kind: oracle.OpSetMask, CLOS: 0, Mask: 0})
+	for i := 0; i < 8; i++ {
+		ops = append(ops, oracle.Op{Kind: oracle.OpAccess, Addr: uint64(100+i) * 64})
+	}
+	ops = append(ops, oracle.Op{Kind: oracle.OpSetMask, CLOS: 0, Mask: 0b1010})
+	for i := 0; i < 32; i++ {
+		ops = append(ops, oracle.Op{Kind: oracle.OpAccess, Addr: uint64(200+i) * 64})
+	}
+	diffExact(t, cfg, 1, ops)
+}

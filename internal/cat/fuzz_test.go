@@ -1,0 +1,150 @@
+package cat
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzCATLayout drives the allocation-algebra planners with arbitrary
+// geometry and checks the §2 structural invariants the rest of the stack
+// leans on. The decode is total: any five bytes become a (plausibly
+// out-of-range) planning request, and out-of-range requests must be
+// rejected with an error rather than yield an invalid layout.
+//
+// Checked properties, for every accepted layout:
+//
+//   - every Default/Boost mask is a legal CAT CBM (FromMask round-trips);
+//   - each boost span covers its default span;
+//   - each policy retains private ways, and private ∪ shared covers the
+//     boost CBM exactly (Equation 1 partitions the allocation);
+//   - chain layouts have at most 2 sharers per boost span, pool layouts
+//     exactly n−1;
+//   - contiguity is preserved under translation: shifting every span
+//     right by k yields an equally valid layout with identical sharer
+//     structure (metamorphic — the algebra is translation-invariant).
+func FuzzCATLayout(f *testing.F) {
+	f.Add(byte(20), byte(2), byte(2), byte(2), byte(3))
+	f.Add(byte(20), byte(4), byte(2), byte(2), byte(1))
+	f.Add(byte(64), byte(8), byte(3), byte(5), byte(7))
+	f.Add(byte(11), byte(3), byte(1), byte(2), byte(0))
+	f.Add(byte(1), byte(1), byte(1), byte(0), byte(0))
+	f.Fuzz(func(t *testing.T, totalB, nB, privB, sharedB, shiftB byte) {
+		totalWays := 1 + int(totalB)%MaxWays
+		n := 1 + int(nB)%8
+		privateWays := int(privB) % 8
+		sharedWays := int(sharedB) % 8
+		shift := int(shiftB) % 8
+
+		l, err := PlanChain(totalWays, n, privateWays, sharedWays)
+		if err != nil {
+			// Rejection must be for cause: spans that do fit with positive
+			// private ways must never be rejected.
+			if privateWays > 0 && n*privateWays+(n-1)*sharedWays <= totalWays {
+				t.Fatalf("PlanChain(%d,%d,%d,%d) rejected a feasible layout: %v",
+					totalWays, n, privateWays, sharedWays, err)
+			}
+		} else {
+			checkLayout(t, l)
+			for _, c := range l.SharerCounts() {
+				if c > 2 {
+					t.Fatalf("chain layout has %d sharers (> 2): %+v", c, l)
+				}
+			}
+			checkShifted(t, l, shift)
+		}
+
+		pool, err := PlanPool(totalWays, n, privateWays, sharedWays)
+		if err == nil {
+			for i := range pool.Policies {
+				if len(pool.Private(i)) == 0 {
+					t.Fatalf("pool policy %d lost its private ways: %+v", i, pool)
+				}
+			}
+			for i, c := range pool.SharerCounts() {
+				if c != n-1 {
+					t.Fatalf("pool policy %d has %d sharers, want %d", i, c, n-1)
+				}
+			}
+		}
+	})
+}
+
+// checkLayout verifies the per-policy invariants of an accepted layout.
+func checkLayout(t *testing.T, l Layout) {
+	t.Helper()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("planner returned invalid layout: %v", err)
+	}
+	for i, p := range l.Policies {
+		for _, m := range []uint64{p.Default.Mask(), p.Boost.Mask()} {
+			s, err := FromMask(m)
+			if err != nil {
+				t.Fatalf("policy %d mask %#x not a legal CBM: %v", i, m, err)
+			}
+			if s.Mask() != m {
+				t.Fatalf("policy %d mask %#x does not round-trip (got %#x)", i, m, s.Mask())
+			}
+		}
+		if p.Default.Mask()&^p.Boost.Mask() != 0 {
+			t.Fatalf("policy %d boost %v does not cover default %v", i, p.Boost, p.Default)
+		}
+		priv, shared := l.Private(i), l.Shared(i)
+		if len(priv) == 0 {
+			t.Fatalf("policy %d has no private ways", i)
+		}
+		var cover uint64
+		for _, w := range priv {
+			cover |= 1 << uint(w)
+		}
+		for _, w := range shared {
+			cover |= 1 << uint(w)
+		}
+		if cover != p.Boost.Mask() {
+			t.Fatalf("policy %d: private %v ∪ shared %v = %#x does not equal boost CBM %#x",
+				i, priv, shared, cover, p.Boost.Mask())
+		}
+		if overlap := bits.OnesCount64(cover) - len(priv) - len(shared); overlap != 0 {
+			t.Fatalf("policy %d: private %v and shared %v overlap", i, priv, shared)
+		}
+	}
+}
+
+// checkShifted translates every span right by k and verifies the layout
+// algebra is translation-invariant: contiguity, validity and sharer
+// structure are all preserved.
+func checkShifted(t *testing.T, l Layout, k int) {
+	t.Helper()
+	// Find how far right the layout extends; skip shifts that would spill
+	// past MaxWays (FromMask's uint64 domain).
+	end := 0
+	for _, p := range l.Policies {
+		if e := p.Boost.Offset + p.Boost.Length; e > end {
+			end = e
+		}
+		if e := p.Default.Offset + p.Default.Length; e > end {
+			end = e
+		}
+	}
+	if end+k > MaxWays {
+		return
+	}
+	shifted := Layout{TotalWays: min(l.TotalWays+k, MaxWays)}
+	for _, p := range l.Policies {
+		p.Default.Offset += k
+		p.Boost.Offset += k
+		shifted.Policies = append(shifted.Policies, p)
+	}
+	checkLayout(t, shifted)
+	orig, moved := l.SharerCounts(), shifted.SharerCounts()
+	for i := range orig {
+		if orig[i] != moved[i] {
+			t.Fatalf("shift by %d changed sharer count of policy %d: %d → %d",
+				k, i, orig[i], moved[i])
+		}
+	}
+	for i := range l.Policies {
+		if g, w := shifted.Policies[i].Boost.Mask(), l.Policies[i].Boost.Mask()<<uint(k); g != w {
+			t.Fatalf("shift by %d mangled policy %d boost mask: %#x want %#x", k, i, g, w)
+		}
+	}
+}

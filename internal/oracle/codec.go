@@ -1,0 +1,232 @@
+package oracle
+
+import "stac/internal/cache"
+
+// Byte codec for differential streams. Fuzzing hands the drivers an
+// arbitrary byte string; Decode* turn any input into a valid (config,
+// ops) pair — total functions, so every mutation the fuzzer tries is a
+// meaningful simulation — and Encode* are the inverses used to seed the
+// checked-in corpora from golden traces and workload kernels.
+//
+// Cache stream layout: a 5-byte header (set-count exponent, way-table
+// index, line-size exponent, replacement policy, CLOS count) followed by
+// 6-byte op records [kind, clos, addr0..addr3]. Addresses are encoded as
+// 32-bit line indices so every mutation stays line-aligned (the
+// simulator ignores sub-line bits anyway) and small byte edits move the
+// access between nearby sets and tags. SetMask records reuse the address
+// bytes as a 16-bit mask and a shift, covering arbitrary contiguous and
+// ragged masks anywhere in a 64-way CBM.
+
+// waysTable spans the interesting associativities: tiny, odd (partial
+// final signature byte lanes), byte-aligned, and the 64-way extreme where
+// the packed valid mask saturates.
+var waysTable = [16]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 15, 16, 17, 20, 24, 64}
+
+const (
+	cacheHeaderLen = 5
+	cacheOpLen     = 6
+	hierHeaderLen  = 10
+	hierOpLen      = 7
+	// maxOps bounds the decoded stream length so one fuzz execution stays
+	// fast regardless of input size.
+	maxOps = 1 << 14
+)
+
+// DecodeCacheStream decodes data into a single-cache differential input.
+// Any byte string yields a valid configuration and op stream.
+func DecodeCacheStream(data []byte) (cache.Config, int, []Op) {
+	var h [cacheHeaderLen]byte
+	copy(h[:], data)
+	cfg := cache.Config{
+		Sets:     1 << (h[0] & 7),
+		Ways:     waysTable[h[1]&15],
+		LineSize: 16 << (h[2] & 3),
+		Replace:  cache.Replacement(h[3] % 3),
+	}
+	nclos := 1 + int(h[4]&15)
+	if len(data) > cacheHeaderLen {
+		data = data[cacheHeaderLen:]
+	} else {
+		data = nil
+	}
+	var ops []Op
+	for len(data) >= cacheOpLen && len(ops) < maxOps {
+		rec := data[:cacheOpLen]
+		data = data[cacheOpLen:]
+		op := Op{CLOS: int(rec[1]) % nclos}
+		switch k := rec[0] % 16; {
+		case k < 10:
+			op.Kind = OpAccess
+			op.Write = k&1 == 1
+			op.Addr = lineIndex(rec[2:]) * uint64(cfg.LineSize)
+		case k < 12:
+			op.Kind = OpPrefetch
+			op.Addr = lineIndex(rec[2:]) * uint64(cfg.LineSize)
+		case k < 14:
+			op.Kind = OpSetMask
+			op.Mask = decodeMask(rec[2:])
+		case k == 14:
+			op.Kind = OpFlush
+		default:
+			op.Kind = OpResetStats
+		}
+		ops = append(ops, op)
+	}
+	return cfg, nclos, ops
+}
+
+// EncodeCacheStream is the inverse of DecodeCacheStream for inputs it can
+// represent: ways present in waysTable, line-aligned addresses below
+// 2³² lines, and masks expressible as a 16-bit pattern shifted by ≤ 48.
+func EncodeCacheStream(cfg cache.Config, nclos int, ops []Op) []byte {
+	out := []byte{
+		byte(log2(cfg.Sets) & 7),
+		byte(waysIndex(cfg.Ways)),
+		byte(log2(cfg.LineSize/16) & 3),
+		byte(cfg.Replace),
+		byte((nclos - 1) & 15),
+	}
+	for _, op := range ops {
+		rec := [cacheOpLen]byte{1: byte(op.CLOS)}
+		switch op.Kind {
+		case OpAccess:
+			if op.Write {
+				rec[0] = 1
+			}
+			putLineIndex(rec[2:], op.Addr/uint64(cfg.LineSize))
+		case OpPrefetch:
+			rec[0] = 10
+			putLineIndex(rec[2:], op.Addr/uint64(cfg.LineSize))
+		case OpSetMask:
+			rec[0] = 12
+			encodeMask(rec[2:], op.Mask)
+		case OpFlush:
+			rec[0] = 14
+		case OpResetStats:
+			rec[0] = 15
+		}
+		out = append(out, rec[:]...)
+	}
+	return out
+}
+
+// DecodeHierarchyStream decodes data into a hierarchy differential input:
+// a 10-byte header (cores, streamer flag, per-level geometry, policy,
+// CLOS count) followed by 7-byte records [kind, core, clos, addr0..3].
+func DecodeHierarchyStream(data []byte) (cache.HierarchyConfig, int, []Op) {
+	var h [hierHeaderLen]byte
+	copy(h[:], data)
+	cfg := cache.HierarchyConfig{
+		Cores:            1 + int(h[0]&3),
+		NextLinePrefetch: h[1]&1 == 1,
+		L1:               cache.Config{Sets: 1 << (h[2] & 3), Ways: 1 + int(h[3]&3), LineSize: 64},
+		L2:               cache.Config{Sets: 1 << (h[4] % 5), Ways: 1 + int(h[5]&7), LineSize: 64},
+		LLC:              cache.Config{Sets: 1 << (h[6] % 7), Ways: waysTable[h[7]&15], LineSize: 64},
+	}
+	pol := cache.Replacement(h[8] % 3)
+	cfg.L1.Replace, cfg.L2.Replace, cfg.LLC.Replace = pol, pol, pol
+	nclos := 1 + int(h[9]&15)
+	if len(data) > hierHeaderLen {
+		data = data[hierHeaderLen:]
+	} else {
+		data = nil
+	}
+	var ops []Op
+	for len(data) >= hierOpLen && len(ops) < maxOps {
+		rec := data[:hierOpLen]
+		data = data[hierOpLen:]
+		op := Op{Core: int(rec[1]) % cfg.Cores, CLOS: int(rec[2]) % nclos}
+		switch k := rec[0] % 8; {
+		case k < 6:
+			op.Kind = OpAccess
+			op.Write = k&1 == 1
+			op.Addr = lineIndex(rec[3:]) * 64
+		case k == 6:
+			op.Kind = OpSetMask
+			op.Mask = decodeMask(rec[3:])
+		default:
+			op.Kind = OpFlush
+		}
+		ops = append(ops, op)
+	}
+	return cfg, nclos, ops
+}
+
+// EncodeHierarchyStream is the inverse of DecodeHierarchyStream for
+// representable inputs (uniform 64-byte lines, uniform policy).
+func EncodeHierarchyStream(cfg cache.HierarchyConfig, nclos int, ops []Op) []byte {
+	flags := byte(0)
+	if cfg.NextLinePrefetch {
+		flags = 1
+	}
+	out := []byte{
+		byte((cfg.Cores - 1) & 3),
+		flags,
+		byte(log2(cfg.L1.Sets) & 3),
+		byte((cfg.L1.Ways - 1) & 3),
+		byte(log2(cfg.L2.Sets) % 5),
+		byte((cfg.L2.Ways - 1) & 7),
+		byte(log2(cfg.LLC.Sets) % 7),
+		byte(waysIndex(cfg.LLC.Ways)),
+		byte(cfg.LLC.Replace),
+		byte((nclos - 1) & 15),
+	}
+	for _, op := range ops {
+		rec := [hierOpLen]byte{1: byte(op.Core), 2: byte(op.CLOS)}
+		switch op.Kind {
+		case OpAccess:
+			if op.Write {
+				rec[0] = 1
+			}
+			putLineIndex(rec[3:], op.Addr/64)
+		case OpSetMask:
+			rec[0] = 6
+			encodeMask(rec[3:], op.Mask)
+		default: // OpFlush
+			rec[0] = 7
+		}
+		out = append(out, rec[:]...)
+	}
+	return out
+}
+
+func lineIndex(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24
+}
+
+func putLineIndex(b []byte, idx uint64) {
+	b[0], b[1], b[2], b[3] = byte(idx), byte(idx>>8), byte(idx>>16), byte(idx>>24)
+}
+
+// decodeMask expands [pattern16lo, pattern16hi, shift, _] into a 64-bit
+// CBM: a 16-bit pattern (contiguous or ragged) placed anywhere.
+func decodeMask(b []byte) uint64 {
+	return (uint64(b[0]) | uint64(b[1])<<8) << (b[2] % 49)
+}
+
+func encodeMask(b []byte, mask uint64) {
+	shift := 0
+	for mask != 0 && mask&1 == 0 && shift < 48 {
+		mask >>= 1
+		shift++
+	}
+	b[0], b[1], b[2] = byte(mask), byte(mask>>8), byte(shift)
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func waysIndex(ways int) int {
+	for i, w := range waysTable {
+		if w == ways {
+			return i
+		}
+	}
+	return 7 // 8 ways, the common default
+}

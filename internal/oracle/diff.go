@@ -1,0 +1,332 @@
+package oracle
+
+import (
+	"fmt"
+
+	"stac/internal/cache"
+)
+
+// OpKind enumerates the operations a differential stream can contain —
+// the full mutable surface of a simulated cache.
+type OpKind uint8
+
+const (
+	OpAccess OpKind = iota
+	OpPrefetch
+	OpSetMask
+	OpFlush
+	OpResetStats
+)
+
+// Op is one step of a differential replay. Core is only meaningful for
+// hierarchy streams; Mask only for OpSetMask.
+type Op struct {
+	Kind  OpKind
+	Core  int
+	CLOS  int
+	Addr  uint64
+	Write bool
+	Mask  uint64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpAccess:
+		return fmt.Sprintf("access{core=%d clos=%d addr=%#x write=%v}", o.Core, o.CLOS, o.Addr, o.Write)
+	case OpPrefetch:
+		return fmt.Sprintf("prefetch{clos=%d addr=%#x}", o.CLOS, o.Addr)
+	case OpSetMask:
+		return fmt.Sprintf("setmask{clos=%d mask=%#x}", o.CLOS, o.Mask)
+	case OpFlush:
+		return "flush{}"
+	case OpResetStats:
+		return "resetstats{}"
+	default:
+		return fmt.Sprintf("op(%d)", o.Kind)
+	}
+}
+
+// Divergence reports the first step at which the optimised implementation
+// and the oracle disagreed. It implements error so drivers can return it
+// directly.
+type Divergence struct {
+	Step  int
+	Op    Op
+	Field string
+	Got   string // optimised implementation
+	Want  string // oracle
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("oracle divergence at step %d (%s): %s: optimised=%s oracle=%s",
+		d.Step, d.Op, d.Field, d.Got, d.Want)
+}
+
+// event is one recorder callback, captured for stream comparison.
+type event struct {
+	kind              uint8 // 0 access, 1 install, 2 eviction
+	level, a, b       int   // a=clos/causer, b=victim
+	hit, write, fresh bool
+}
+
+func (e event) String() string {
+	switch e.kind {
+	case 0:
+		return fmt.Sprintf("access(level=%d clos=%d hit=%v write=%v)", e.level, e.a, e.hit, e.write)
+	case 1:
+		return fmt.Sprintf("install(level=%d clos=%d fresh=%v)", e.level, e.a, e.fresh)
+	default:
+		return fmt.Sprintf("eviction(level=%d causer=%d victim=%d)", e.level, e.a, e.b)
+	}
+}
+
+// eventLog is a cache.Recorder that captures the raw event sequence.
+type eventLog struct{ events []event }
+
+func (l *eventLog) CacheAccess(level, clos int, hit, write bool) {
+	l.events = append(l.events, event{kind: 0, level: level, a: clos, hit: hit, write: write})
+}
+
+func (l *eventLog) CacheInstall(level, clos int, fresh bool) {
+	l.events = append(l.events, event{kind: 1, level: level, a: clos, fresh: fresh})
+}
+
+func (l *eventLog) CacheEviction(level, causer, victim int) {
+	l.events = append(l.events, event{kind: 2, level: level, a: causer, b: victim})
+}
+
+// diffEvents compares and drains both event logs.
+func diffEvents(step int, op Op, got, want *eventLog) *Divergence {
+	g, w := got.events, want.events
+	got.events, want.events = got.events[:0], want.events[:0]
+	if len(g) != len(w) {
+		return &Divergence{Step: step, Op: op, Field: "event count",
+			Got: fmt.Sprint(g), Want: fmt.Sprint(w)}
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			return &Divergence{Step: step, Op: op, Field: fmt.Sprintf("event %d", i),
+				Got: g[i].String(), Want: w[i].String()}
+		}
+	}
+	return nil
+}
+
+func diffStats(step int, op Op, clos int, got, want cache.Stats) *Divergence {
+	if got != want {
+		return &Divergence{Step: step, Op: op,
+			Field: fmt.Sprintf("stats[clos=%d]", clos),
+			Got:   fmt.Sprintf("%+v", got), Want: fmt.Sprintf("%+v", want)}
+	}
+	return nil
+}
+
+func diffLines(step int, op Op, label string, got, want []cache.Line) *Divergence {
+	if len(got) != len(want) {
+		return &Divergence{Step: step, Op: op, Field: label + " resident-line count",
+			Got: fmt.Sprint(len(got)), Want: fmt.Sprint(len(want))}
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return &Divergence{Step: step, Op: op,
+				Field: fmt.Sprintf("%s line %d", label, i),
+				Got:   fmt.Sprintf("%+v", got[i]), Want: fmt.Sprintf("%+v", want[i])}
+		}
+	}
+	return nil
+}
+
+// DiffCache replays ops through a packed cache.Cache and the naive oracle
+// and returns the first divergence, or nil when the two implementations
+// agree at every step. The per-step comparison covers the returned
+// hit/fill result, the acting CLOS's statistics and the recorder event
+// stream; every checkEvery steps (and at the end) it additionally diffs
+// all per-CLOS statistics, occupancy and the full resident-line content.
+// nclos bounds the CLOS indices the stream may use.
+func DiffCache(cfg cache.Config, nclos int, ops []Op, checkEvery int) *Divergence {
+	if checkEvery <= 0 {
+		checkEvery = 64
+	}
+	if nclos <= 0 || nclos > cache.MaxCLOS {
+		nclos = cache.MaxCLOS
+	}
+	fast, err := cache.New(cfg)
+	if err != nil {
+		return nil // invalid geometry: nothing to compare
+	}
+	ref, err := New(cfg)
+	if err != nil {
+		return &Divergence{Field: "config acceptance",
+			Got: "accepted", Want: err.Error()}
+	}
+	fastLog, refLog := &eventLog{}, &eventLog{}
+	fast.SetRecorder(0, fastLog)
+	ref.SetRecorder(0, refLog)
+
+	check := func(step int, op Op) *Divergence {
+		occs := ref.Occupancies()
+		for clos := 0; clos < nclos; clos++ {
+			if d := diffStats(step, op, clos, fast.Stats(clos), ref.Stats(clos)); d != nil {
+				return d
+			}
+			if g, w := fast.Occupancy(clos), occs[clos]; g != w {
+				return &Divergence{Step: step, Op: op,
+					Field: fmt.Sprintf("occupancy[clos=%d]", clos),
+					Got:   fmt.Sprint(g), Want: fmt.Sprint(w)}
+			}
+		}
+		if g, w := fast.ValidLines(), ref.ValidLines(); g != w {
+			return &Divergence{Step: step, Op: op, Field: "valid lines",
+				Got: fmt.Sprint(g), Want: fmt.Sprint(w)}
+		}
+		return diffLines(step, op, "cache", fast.ResidentLines(), ref.ResidentLines())
+	}
+
+	for i, op := range ops {
+		clos := op.CLOS % nclos
+		switch op.Kind {
+		case OpAccess:
+			g := fast.Access(clos, op.Addr, op.Write)
+			w := ref.Access(clos, op.Addr, op.Write)
+			if g != w {
+				return &Divergence{Step: i, Op: op, Field: "hit",
+					Got: fmt.Sprint(g), Want: fmt.Sprint(w)}
+			}
+		case OpPrefetch:
+			g := fast.Prefetch(clos, op.Addr)
+			w := ref.Prefetch(clos, op.Addr)
+			if g != w {
+				return &Divergence{Step: i, Op: op, Field: "prefetched",
+					Got: fmt.Sprint(g), Want: fmt.Sprint(w)}
+			}
+		case OpSetMask:
+			fast.SetMask(clos, op.Mask)
+			ref.SetMask(clos, op.Mask)
+			if g, w := fast.Mask(clos), ref.Mask(clos); g != w {
+				return &Divergence{Step: i, Op: op, Field: "mask",
+					Got: fmt.Sprintf("%#x", g), Want: fmt.Sprintf("%#x", w)}
+			}
+		case OpFlush:
+			fast.Flush()
+			ref.Flush()
+		case OpResetStats:
+			fast.ResetStats()
+			ref.ResetStats()
+		}
+		if d := diffEvents(i, op, fastLog, refLog); d != nil {
+			return d
+		}
+		if d := diffStats(i, op, clos, fast.Stats(clos), ref.Stats(clos)); d != nil {
+			return d
+		}
+		if (i+1)%checkEvery == 0 {
+			if d := check(i, op); d != nil {
+				return d
+			}
+		}
+	}
+	n := len(ops)
+	var last Op
+	if n > 0 {
+		last = ops[n-1]
+	}
+	return check(n-1, last)
+}
+
+// DiffHierarchy replays ops through a packed cache.Hierarchy and the
+// reference hierarchy. Per step it compares the level that satisfied the
+// access and the interleaved event stream from all levels; every
+// checkEvery steps (and at the end) it diffs per-core L1/L2 state, the
+// LLC's per-CLOS statistics and occupancy, and resident-line content at
+// every level.
+func DiffHierarchy(cfg cache.HierarchyConfig, nclos int, ops []Op, checkEvery int) *Divergence {
+	if checkEvery <= 0 {
+		checkEvery = 64
+	}
+	if nclos <= 0 || nclos > cache.MaxCLOS {
+		nclos = cache.MaxCLOS
+	}
+	fast, err := cache.NewHierarchy(cfg)
+	if err != nil {
+		return nil // invalid geometry: nothing to compare
+	}
+	ref, err := NewHierarchy(cfg)
+	if err != nil {
+		return &Divergence{Field: "config acceptance",
+			Got: "accepted", Want: err.Error()}
+	}
+	fastLog, refLog := &eventLog{}, &eventLog{}
+	fast.SetRecorder(fastLog)
+	ref.SetRecorder(refLog)
+
+	check := func(step int, op Op) *Divergence {
+		for core := 0; core < cfg.Cores; core++ {
+			if d := diffStats(step, op, 0, fast.L1Stats(core), ref.L1Stats(core)); d != nil {
+				d.Field = fmt.Sprintf("core %d L1 %s", core, d.Field)
+				return d
+			}
+			if d := diffStats(step, op, 0, fast.L2Stats(core), ref.L2Stats(core)); d != nil {
+				d.Field = fmt.Sprintf("core %d L2 %s", core, d.Field)
+				return d
+			}
+			if d := diffLines(step, op, fmt.Sprintf("core %d L1", core),
+				fast.L1Cache(core).ResidentLines(), ref.L1(core).ResidentLines()); d != nil {
+				return d
+			}
+			if d := diffLines(step, op, fmt.Sprintf("core %d L2", core),
+				fast.L2Cache(core).ResidentLines(), ref.L2(core).ResidentLines()); d != nil {
+				return d
+			}
+		}
+		occs := ref.LLC().Occupancies()
+		for clos := 0; clos < nclos; clos++ {
+			if d := diffStats(step, op, clos, fast.LLC().Stats(clos), ref.LLC().Stats(clos)); d != nil {
+				d.Field = "LLC " + d.Field
+				return d
+			}
+			if g, w := fast.LLC().Occupancy(clos), occs[clos]; g != w {
+				return &Divergence{Step: step, Op: op,
+					Field: fmt.Sprintf("LLC occupancy[clos=%d]", clos),
+					Got:   fmt.Sprint(g), Want: fmt.Sprint(w)}
+			}
+		}
+		return diffLines(step, op, "LLC", fast.LLC().ResidentLines(), ref.LLC().ResidentLines())
+	}
+
+	for i, op := range ops {
+		clos := op.CLOS % nclos
+		core := op.Core % cfg.Cores
+		switch op.Kind {
+		case OpAccess:
+			g := fast.Access(core, clos, op.Addr, op.Write)
+			w := ref.Access(core, clos, op.Addr, op.Write)
+			if g != w {
+				return &Divergence{Step: i, Op: op, Field: "level",
+					Got: g.String(), Want: w.String()}
+			}
+		case OpSetMask:
+			fast.SetMask(clos, op.Mask)
+			ref.SetMask(clos, op.Mask)
+		case OpFlush:
+			fast.Flush()
+			ref.Flush()
+		case OpResetStats:
+			fast.ResetStats()
+			ref.ResetStats()
+		}
+		if d := diffEvents(i, op, fastLog, refLog); d != nil {
+			return d
+		}
+		if (i+1)%checkEvery == 0 {
+			if d := check(i, op); d != nil {
+				return d
+			}
+		}
+	}
+	n := len(ops)
+	var last Op
+	if n > 0 {
+		last = ops[n-1]
+	}
+	return check(n-1, last)
+}

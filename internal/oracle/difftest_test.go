@@ -1,0 +1,76 @@
+package oracle
+
+import (
+	"testing"
+
+	"stac/internal/cache"
+	"stac/internal/cat"
+	"stac/internal/stats"
+	"stac/internal/workload"
+)
+
+// TestDifferentialExperimentStreams replays full experiment-shaped access
+// streams — the paper's Table 1 kernels on the testbed's production
+// geometry (4 cores, 512-set × 20-way LLC, chain-planned CAT masks,
+// next-line streamer on) — through the packed hierarchy and the oracle.
+// Where TestDifferentialRandomized* sweeps random geometry, this test
+// pins the exact configuration the experiment pipeline runs, including
+// the boost/default mask switching the STAP policies perform mid-run.
+// scripts/difftest.sh raises the access budget via STAC_DIFFTEST_ACCESSES.
+func TestDifferentialExperimentStreams(t *testing.T) {
+	// The production geometry from testbed's Processor defaults; the
+	// hierarchy codec can't express a 512-set LLC, so it is built directly.
+	cfg := cache.HierarchyConfig{
+		Cores:            4,
+		NextLinePrefetch: true,
+		L1:               cache.Config{Sets: 8, Ways: 4, LineSize: 64},
+		L2:               cache.Config{Sets: 32, Ways: 8, LineSize: 64},
+		LLC:              cache.Config{Sets: 512, Ways: 20, LineSize: 64},
+	}
+	layout, err := cat.PlanChain(20, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kernels := workload.All()
+	perPair := accessBudget(t, 400_000) / (len(kernels) / 2)
+	for pair := 0; pair < len(kernels)/2; pair++ {
+		a, b := kernels[2*pair], kernels[2*pair+1]
+		t.Run(a.Name+"+"+b.Name, func(t *testing.T) {
+			r := stats.NewRNG(uint64(100 + pair))
+			// Two services, two cores each, separate address spaces —
+			// mirroring testbed's base-address layout.
+			pats := []workload.Pattern{
+				a.NewPattern(1 << 32), a.NewPattern(1<<32 + 1<<28),
+				b.NewPattern(2 << 32), b.NewPattern(2<<32 + 1<<28),
+			}
+			svcCLOS := [4]int{0, 0, 1, 1}
+
+			var ops []Op
+			for i, p := range layout.Policies {
+				ops = append(ops, Op{Kind: OpSetMask, CLOS: i, Mask: p.Default.Mask()})
+			}
+			boosted := [2]bool{}
+			for i := 0; i < perPair; i++ {
+				core := r.Intn(4)
+				acc := pats[core].Next(r)
+				ops = append(ops, Op{Kind: OpAccess, Core: core,
+					CLOS: svcCLOS[core], Addr: acc.Addr, Write: acc.Write})
+				// STAP switching: periodically toggle each service between
+				// default and boost masks, like timeout-triggered boosts do.
+				if i%5000 == 2500 {
+					svc := (i / 5000) % 2
+					boosted[svc] = !boosted[svc]
+					m := layout.Policies[svc].Default.Mask()
+					if boosted[svc] {
+						m = layout.Policies[svc].Boost.Mask()
+					}
+					ops = append(ops, Op{Kind: OpSetMask, CLOS: svc, Mask: m})
+				}
+			}
+			if d := DiffHierarchy(cfg, 2, ops, 4096); d != nil {
+				t.Fatal(d)
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package oracle
+
+import (
+	"testing"
+
+	"stac/internal/cache"
+)
+
+// FuzzCacheVsOracle feeds arbitrary bytes through the total stream codec
+// and replays the decoded (config, ops) pair through the packed cache and
+// the oracle in lockstep. Any divergence — hit/miss result, statistics,
+// recorder events, occupancy or resident lines — fails the target, so the
+// fuzzer is free to hunt for geometry/mask/policy corner cases no
+// hand-written test anticipated. Corpus seeds live in
+// testdata/fuzz/FuzzCacheVsOracle (see scripts/seedcorpus).
+func FuzzCacheVsOracle(f *testing.F) {
+	// A handful of structural seeds so even a cold run starts from
+	// meaningful streams; the checked-in corpus adds golden-trace and
+	// workload-kernel shapes on top.
+	f.Add(EncodeCacheStream(cache.Config{Sets: 4, Ways: 2, LineSize: 64}, 2, []Op{
+		{Kind: OpAccess, Addr: 0}, {Kind: OpAccess, Addr: 512},
+		{Kind: OpAccess, CLOS: 1, Addr: 0, Write: true},
+	}))
+	f.Add(EncodeCacheStream(cache.Config{Sets: 2, Ways: 64, LineSize: 64, Replace: cache.ReplaceBitPLRU}, 4, []Op{
+		{Kind: OpSetMask, CLOS: 1, Mask: 0xFF00}, {Kind: OpAccess, CLOS: 1, Addr: 128},
+		{Kind: OpFlush}, {Kind: OpAccess, CLOS: 1, Addr: 128},
+	}))
+	f.Add(EncodeCacheStream(cache.Config{Sets: 1, Ways: 3, LineSize: 16, Replace: cache.ReplaceRandom}, 1, []Op{
+		{Kind: OpAccess, Addr: 0}, {Kind: OpAccess, Addr: 16}, {Kind: OpAccess, Addr: 48},
+		{Kind: OpAccess, Addr: 64}, {Kind: OpPrefetch, Addr: 96}, {Kind: OpResetStats},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, nclos, ops := DecodeCacheStream(data)
+		if d := DiffCache(cfg, nclos, ops, 256); d != nil {
+			t.Fatal(d)
+		}
+	})
+}
+
+// FuzzHierarchyInclusion replays arbitrary streams through the full
+// three-level hierarchy twice: once differentially against the reference
+// hierarchy, and once checking the data-path invariants directly on the
+// optimised implementation —
+//
+//   - an access always installs into the accessing core's L1 (L1 is not
+//     CAT-gated and the streamer never touches it), so the line must be
+//     resident there afterwards;
+//   - per-CLOS LLC occupancies sum to the LLC's valid-line count;
+//   - valid lines never exceed geometry capacity;
+//   - per-CLOS demand counters balance (hits+misses = loads+stores).
+func FuzzHierarchyInclusion(f *testing.F) {
+	f.Add(EncodeHierarchyStream(cache.HierarchyConfig{
+		Cores:            2,
+		NextLinePrefetch: true,
+		L1:               cache.Config{Sets: 2, Ways: 2, LineSize: 64},
+		L2:               cache.Config{Sets: 4, Ways: 2, LineSize: 64},
+		LLC:              cache.Config{Sets: 8, Ways: 4, LineSize: 64},
+	}, 4, []Op{
+		{Kind: OpSetMask, CLOS: 1, Mask: 0b1100},
+		{Kind: OpAccess, Core: 0, CLOS: 1, Addr: 0},
+		{Kind: OpAccess, Core: 1, CLOS: 0, Addr: 64, Write: true},
+		{Kind: OpFlush},
+		{Kind: OpAccess, Core: 0, CLOS: 1, Addr: 0},
+	}))
+	// Single-set, single-way levels: the next-line prefetch evicts the
+	// just-installed line from L2/LLC, the nastiest inclusion corner.
+	f.Add(EncodeHierarchyStream(cache.HierarchyConfig{
+		Cores:            1,
+		NextLinePrefetch: true,
+		L1:               cache.Config{Sets: 1, Ways: 1, LineSize: 64},
+		L2:               cache.Config{Sets: 1, Ways: 1, LineSize: 64},
+		LLC:              cache.Config{Sets: 1, Ways: 1, LineSize: 64},
+	}, 1, []Op{
+		{Kind: OpAccess, Addr: 0}, {Kind: OpAccess, Addr: 64}, {Kind: OpAccess, Addr: 0},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, nclos, ops := DecodeHierarchyStream(data)
+		if d := DiffHierarchy(cfg, nclos, ops, 1024); d != nil {
+			t.Fatal(d)
+		}
+
+		h, err := cache.NewHierarchy(cfg)
+		if err != nil {
+			return
+		}
+		for i, op := range ops {
+			clos := op.CLOS % nclos
+			switch op.Kind {
+			case OpAccess:
+				core := op.Core % cfg.Cores
+				lvl := h.Access(core, clos, op.Addr, op.Write)
+				if lvl < cache.LevelL1 || lvl > cache.LevelMemory {
+					t.Fatalf("step %d: impossible level %d", i, lvl)
+				}
+				if !h.L1Cache(core).Contains(op.Addr) {
+					t.Fatalf("step %d: %v absent from core %d L1 after access", i, op.Addr, core)
+				}
+			case OpSetMask:
+				h.SetMask(clos, op.Mask)
+			case OpFlush:
+				h.Flush()
+			}
+		}
+		llc := h.LLC()
+		total := 0
+		for clos := 0; clos < cache.MaxCLOS; clos++ {
+			occ := llc.Occupancy(clos)
+			if occ < 0 {
+				t.Fatalf("negative occupancy %d for clos %d", occ, clos)
+			}
+			total += occ
+			st := llc.Stats(clos)
+			if st.Hits+st.Misses != st.Loads+st.Stores {
+				t.Fatalf("clos %d demand counters unbalanced: %+v", clos, st)
+			}
+			if st.Misses != st.LoadMisses+st.StoreMisses {
+				t.Fatalf("clos %d miss split unbalanced: %+v", clos, st)
+			}
+		}
+		if valid := llc.ValidLines(); total != valid {
+			t.Fatalf("LLC occupancy sum %d != valid lines %d", total, valid)
+		}
+		if valid, capLines := llc.ValidLines(), cfg.LLC.Sets*cfg.LLC.Ways; valid > capLines {
+			t.Fatalf("LLC holds %d lines, capacity %d", valid, capLines)
+		}
+	})
+}

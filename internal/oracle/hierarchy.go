@@ -1,0 +1,113 @@
+package oracle
+
+import "stac/internal/cache"
+
+// Hierarchy is the reference three-level data path, mirroring
+// cache.Hierarchy rule for rule: an access probes the core's private L1,
+// then L2, then the shared CAT-partitioned LLC; a miss at every level
+// goes to memory and fills upward, and the optional next-line streamer
+// observes every L2 access (hit or miss) and prefetches addr+lineSize
+// into L2 and the LLC under the CLOS's mask.
+type Hierarchy struct {
+	cfg            cache.HierarchyConfig
+	prefetchStride uint64
+	l1             []*Cache
+	l2             []*Cache
+	llc            *Cache
+}
+
+// NewHierarchy builds the reference hierarchy.
+func NewHierarchy(cfg cache.HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{cfg: cfg, prefetchStride: uint64(cfg.L2.LineSize)}
+	for i := 0; i < cfg.Cores; i++ {
+		l1, err := New(cfg.L1)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := New(cfg.L2)
+		if err != nil {
+			return nil, err
+		}
+		h.l1 = append(h.l1, l1)
+		h.l2 = append(h.l2, l2)
+	}
+	llc, err := New(cfg.LLC)
+	if err != nil {
+		return nil, err
+	}
+	h.llc = llc
+	return h, nil
+}
+
+// Config returns the hierarchy geometry.
+func (h *Hierarchy) Config() cache.HierarchyConfig { return h.cfg }
+
+// LLC exposes the shared last-level cache.
+func (h *Hierarchy) LLC() *Cache { return h.llc }
+
+// L1 exposes a core's private L1 (verification surface).
+func (h *Hierarchy) L1(core int) *Cache { return h.l1[core] }
+
+// L2 exposes a core's private L2 (verification surface).
+func (h *Hierarchy) L2(core int) *Cache { return h.l2[core] }
+
+// L1Stats returns the private L1 statistics for a core.
+func (h *Hierarchy) L1Stats(core int) cache.Stats { return h.l1[core].Stats(0) }
+
+// L2Stats returns the private L2 statistics for a core.
+func (h *Hierarchy) L2Stats(core int) cache.Stats { return h.l2[core].Stats(0) }
+
+// SetMask programs the LLC capacity bitmask for a CLOS.
+func (h *Hierarchy) SetMask(clos int, mask uint64) { h.llc.SetMask(clos, mask) }
+
+// SetRecorder attaches r to every level with the same tags the optimised
+// hierarchy uses; nil detaches.
+func (h *Hierarchy) SetRecorder(r cache.Recorder) {
+	for i := range h.l1 {
+		h.l1[i].SetRecorder(int(cache.LevelL1), r)
+		h.l2[i].SetRecorder(int(cache.LevelL2), r)
+	}
+	h.llc.SetRecorder(int(cache.LevelLLC), r)
+}
+
+// Access performs one access from core (LLC class of service clos) and
+// returns the level that satisfied it.
+func (h *Hierarchy) Access(core, clos int, addr uint64, write bool) cache.Level {
+	if h.l1[core].Access(0, addr, write) {
+		return cache.LevelL1
+	}
+	lvl := cache.LevelMemory
+	switch {
+	case h.l2[core].Access(0, addr, write):
+		lvl = cache.LevelL2
+	case h.llc.Access(clos, addr, write):
+		lvl = cache.LevelLLC
+	}
+	if h.cfg.NextLinePrefetch {
+		next := addr + h.prefetchStride
+		h.l2[core].Prefetch(0, next)
+		h.llc.Prefetch(clos, next)
+	}
+	return lvl
+}
+
+// ResetStats clears statistics at every level; contents are preserved.
+func (h *Hierarchy) ResetStats() {
+	for i := range h.l1 {
+		h.l1[i].ResetStats()
+		h.l2[i].ResetStats()
+	}
+	h.llc.ResetStats()
+}
+
+// Flush invalidates every cache in the hierarchy.
+func (h *Hierarchy) Flush() {
+	for i := range h.l1 {
+		h.l1[i].Flush()
+		h.l2[i].Flush()
+	}
+	h.llc.Flush()
+}

@@ -1,0 +1,383 @@
+// Package oracle is the correctness anchor of the simulator stack: a
+// deliberately naive, obviously-correct reference implementation of the
+// CAT-partitioned set-associative cache that internal/cache optimises.
+//
+// Where internal/cache packs per-set metadata into uint64 words and
+// probes with SWAR byte comparison, this package stores one plain struct
+// per line and walks ways with textbook loops. Every behavioural rule is
+// written out longhand — hits allowed in any way, fills gated by the
+// CLOS's explicit way mask, invalid-way-first victim selection, LRU by
+// smallest timestamp, bit-PLRU mark/reset, the xorshift stream for
+// random replacement — so a reader can check it against the paper's §2
+// semantics directly.
+//
+// The package exists to be diffed against, not to be fast: the
+// differential driver in diff.go replays arbitrary operation streams
+// through both implementations and fails on the first step where the
+// returned hit/miss, per-CLOS statistics, recorder event stream,
+// occupancy or resident-line content disagree. Fast-but-clever cache
+// models are exactly where silent divergence creeps in (DEW and Gysi et
+// al. both validate optimised models against a naive simulator for this
+// reason), so every future hot-path change to internal/cache must keep
+// the fuzz targets and TestDifferential* suites green.
+package oracle
+
+import "stac/internal/cache"
+
+// line is one cache line, stored as an ordinary struct: no packing, no
+// signatures, nothing shared between ways.
+type line struct {
+	valid   bool
+	tag     uint64
+	owner   int
+	lastUse uint64
+	mru     bool
+}
+
+// Cache is the reference model. It mirrors the observable surface of
+// cache.Cache (Access/Prefetch/SetMask/Stats/Occupancy/Flush and the
+// Recorder event stream) and intentionally reuses the cache package's
+// Config, Stats and Replacement types so results compare field by field.
+type Cache struct {
+	cfg      cache.Config
+	lineSize uint64
+	sets     [][]line
+	masks    [cache.MaxCLOS]uint64
+	stats    [cache.MaxCLOS]cache.Stats
+	clock    uint64
+	rngState uint64
+	rec      cache.Recorder
+	level    int
+}
+
+// rngSeed matches the optimised implementation's initial xorshift state.
+// The random-replacement stream is part of the simulator's contract
+// ("deterministic per cache instance"), so the oracle reproduces it.
+const rngSeed = 0x9e3779b97f4a7c15
+
+// New builds a reference cache with every CLOS mask fully open, exactly
+// like cache.New.
+func New(cfg cache.Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:      cfg,
+		lineSize: uint64(cfg.LineSize),
+		sets:     make([][]line, cfg.Sets),
+		rngState: rngSeed,
+	}
+	for s := range c.sets {
+		c.sets[s] = make([]line, cfg.Ways)
+	}
+	full := fullMask(cfg.Ways)
+	for i := range c.masks {
+		c.masks[i] = full
+	}
+	return c, nil
+}
+
+func fullMask(ways int) uint64 {
+	if ways >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(ways)) - 1
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() cache.Config { return c.cfg }
+
+// SetMask installs the capacity bitmask for a CLOS; bits above the way
+// count are ignored, and an all-zero effective mask means bypass.
+func (c *Cache) SetMask(clos int, mask uint64) {
+	c.masks[clos] = mask & fullMask(c.cfg.Ways)
+}
+
+// Mask returns the current capacity bitmask of a CLOS.
+func (c *Cache) Mask(clos int) uint64 { return c.masks[clos] }
+
+// Stats returns a copy of the accounting for a CLOS.
+func (c *Cache) Stats(clos int) cache.Stats { return c.stats[clos] }
+
+// ResetStats zeroes all per-CLOS accounting without disturbing contents.
+func (c *Cache) ResetStats() {
+	for i := range c.stats {
+		c.stats[i] = cache.Stats{}
+	}
+}
+
+// Flush invalidates every line and resets statistics and the clock.
+// Like the optimised implementation, stale recency stamps and PLRU marks
+// survive on the invalidated ways (they are unreachable until refill).
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w].valid = false
+		}
+	}
+	c.clock = 0
+	c.ResetStats()
+}
+
+// SetRecorder attaches r, tagging events with level; nil detaches.
+func (c *Cache) SetRecorder(level int, r cache.Recorder) {
+	c.level = level
+	c.rec = r
+}
+
+// locate splits a byte address into set index and tag with plain integer
+// arithmetic (Sets is a power of two, so division agrees with the
+// optimised shift/mask decomposition).
+func (c *Cache) locate(addr uint64) (set int, tag uint64) {
+	lineAddr := addr / c.lineSize
+	return int(lineAddr % uint64(c.cfg.Sets)), lineAddr / uint64(c.cfg.Sets)
+}
+
+// probe returns the way holding tag in set, or -1. Tags are unique among
+// a set's valid lines, so scanning in ascending way order is canonical.
+func (c *Cache) probe(set int, tag uint64) int {
+	for w := range c.sets[set] {
+		if c.sets[set][w].valid && c.sets[set][w].tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// Access performs one demand access and reports whether it hit. Hits are
+// permitted in any way regardless of the CLOS mask (CAT gates fills, not
+// lookups); misses account and then attempt a fill under the mask.
+func (c *Cache) Access(clos int, addr uint64, write bool) bool {
+	st := &c.stats[clos]
+	if write {
+		st.Stores++
+	} else {
+		st.Loads++
+	}
+	c.clock++
+
+	set, tag := c.locate(addr)
+	if w := c.probe(set, tag); w >= 0 {
+		st.Hits++
+		c.sets[set][w].lastUse = c.clock
+		if c.cfg.Replace == cache.ReplaceBitPLRU {
+			c.touchMRU(set, w)
+		}
+		if c.rec != nil {
+			c.rec.CacheAccess(c.level, clos, true, write)
+		}
+		return true
+	}
+	st.Misses++
+	if write {
+		st.StoreMisses++
+	} else {
+		st.LoadMisses++
+	}
+	if c.rec != nil {
+		c.rec.CacheAccess(c.level, clos, false, write)
+	}
+	c.install(st, clos, set, tag)
+	return false
+}
+
+// Prefetch installs the line containing addr without touching the demand
+// counters; resident lines are left untouched (no recency update).
+func (c *Cache) Prefetch(clos int, addr uint64) bool {
+	c.clock++
+	set, tag := c.locate(addr)
+	if c.probe(set, tag) >= 0 {
+		return false
+	}
+	st := &c.stats[clos]
+	if !c.install(st, clos, set, tag) {
+		return false
+	}
+	st.Prefetches++
+	return true
+}
+
+// install fills tag into a way the CLOS mask permits. The explicit mask
+// check on every fill is the CAT write-enable gate of the paper's
+// Figure 1: an empty effective mask bypasses the cache entirely.
+func (c *Cache) install(st *cache.Stats, clos, set int, tag uint64) bool {
+	mask := c.masks[clos]
+	if mask == 0 {
+		return false // bypass — no permitted way to install into
+	}
+	w := c.victim(set, mask)
+	if w < 0 {
+		return false
+	}
+	ln := &c.sets[set][w]
+	fresh := !ln.valid
+	if !fresh {
+		// Replacing a valid line: cross-CLOS displacement is the
+		// contention event; same-CLOS replacement changes nothing but the
+		// line's identity.
+		if old := ln.owner; old != clos {
+			st.EvictionsCaused++
+			c.stats[old].EvictionsSuffered++
+			if c.rec != nil {
+				c.rec.CacheEviction(c.level, clos, old)
+			}
+		}
+	}
+	ln.valid = true
+	ln.tag = tag
+	ln.owner = clos
+	ln.lastUse = c.clock
+	if c.cfg.Replace == cache.ReplaceBitPLRU {
+		c.touchMRU(set, w)
+	}
+	st.Installs++
+	if c.rec != nil {
+		c.rec.CacheInstall(c.level, clos, fresh)
+	}
+	return true
+}
+
+// victim picks the way to fill among the ways mask permits: an invalid
+// permitted way first (lowest index), otherwise the configured policy.
+func (c *Cache) victim(set int, mask uint64) int {
+	ways := c.sets[set]
+	for w := range ways {
+		if mask&(1<<uint(w)) != 0 && !ways[w].valid {
+			return w
+		}
+	}
+	switch c.cfg.Replace {
+	case cache.ReplaceRandom:
+		// The pick-th permitted way in ascending order, driven by the
+		// shared deterministic xorshift stream.
+		var permitted []int
+		for w := range ways {
+			if mask&(1<<uint(w)) != 0 {
+				permitted = append(permitted, w)
+			}
+		}
+		if len(permitted) == 0 {
+			return -1
+		}
+		return permitted[int(c.nextRand()%uint64(len(permitted)))]
+	case cache.ReplaceBitPLRU:
+		for w := range ways {
+			if mask&(1<<uint(w)) != 0 && !ways[w].mru {
+				return w
+			}
+		}
+		for w := range ways {
+			if mask&(1<<uint(w)) != 0 {
+				return w
+			}
+		}
+		return -1
+	default: // ReplaceLRU — oldest stamp, lowest way on ties
+		best := -1
+		var oldest uint64
+		for w := range ways {
+			if mask&(1<<uint(w)) == 0 {
+				continue
+			}
+			if best < 0 || ways[w].lastUse < oldest {
+				best, oldest = w, ways[w].lastUse
+			}
+		}
+		return best
+	}
+}
+
+// touchMRU marks way w most-recently-used; once every valid line in the
+// set is marked, all marks (including stale ones on invalid ways) reset
+// to just w — the textbook bit-PLRU aging rule.
+func (c *Cache) touchMRU(set, w int) {
+	ways := c.sets[set]
+	ways[w].mru = true
+	for i := range ways {
+		if ways[i].valid && !ways[i].mru {
+			return
+		}
+	}
+	for i := range ways {
+		ways[i].mru = false
+	}
+	ways[w].mru = true
+}
+
+// nextRand advances the deterministic xorshift stream (same algorithm
+// and seed as the optimised implementation).
+func (c *Cache) nextRand() uint64 {
+	x := c.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rngState = x
+	return x
+}
+
+// Occupancy counts the valid lines owned by clos with a full sweep — the
+// naive O(sets×ways) answer the optimised incremental counter must match.
+func (c *Cache) Occupancy(clos int) int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid && c.sets[s][w].owner == clos {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Occupancies returns every CLOS's occupancy in a single sweep — the
+// checkpoint-friendly form of Occupancy used by the differential driver.
+func (c *Cache) Occupancies() [cache.MaxCLOS]int {
+	var occ [cache.MaxCLOS]int
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				occ[c.sets[s][w].owner]++
+			}
+		}
+	}
+	return occ
+}
+
+// ValidLines counts all valid lines by sweeping.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ResidentLines returns every valid line in (set, way) order, in the
+// same shape as the optimised implementation's debug dump.
+func (c *Cache) ResidentLines() []cache.Line {
+	var out []cache.Line
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				out = append(out, cache.Line{
+					Set: s, Way: w,
+					Tag:     c.sets[s][w].tag,
+					CLOS:    c.sets[s][w].owner,
+					LastUse: c.sets[s][w].lastUse,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Contains reports whether the line holding addr is resident, without
+// perturbing recency, statistics or replacement state.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.locate(addr)
+	return c.probe(set, tag) >= 0
+}

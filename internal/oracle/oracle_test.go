@@ -1,0 +1,358 @@
+package oracle
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"stac/internal/cache"
+	"stac/internal/stats"
+)
+
+// The reference model is pinned by first principles before anything is
+// diffed against it: each test below checks a textbook rule directly, so
+// the oracle's authority does not rest on agreement with the code it is
+// supposed to check.
+
+func mustNew(t *testing.T, cfg cache.Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOracleLRUEvictsOldest(t *testing.T) {
+	c := mustNew(t, cache.Config{Sets: 1, Ways: 2, LineSize: 64})
+	c.Access(0, 0*64, false) // A → way 0
+	c.Access(0, 1*64, false) // B → way 1
+	c.Access(0, 0*64, false) // touch A: B is now LRU
+	c.Access(0, 2*64, false) // C must evict B
+	if !c.Contains(0 * 64) {
+		t.Error("A should survive (recently used)")
+	}
+	if c.Contains(1 * 64) {
+		t.Error("B should have been evicted as LRU")
+	}
+	if !c.Contains(2 * 64) {
+		t.Error("C should be resident")
+	}
+}
+
+func TestOracleHitsAllowedOutsideMask(t *testing.T) {
+	// CAT gates fills, not lookups: a line installed by CLOS 0 into way 0
+	// must still hit for CLOS 1 whose mask excludes way 0.
+	c := mustNew(t, cache.Config{Sets: 1, Ways: 4, LineSize: 64})
+	c.SetMask(0, 0b0001)
+	c.SetMask(1, 0b1110)
+	c.Access(0, 0, false)
+	if hit := c.Access(1, 0, false); !hit {
+		t.Error("CLOS 1 should hit a line outside its mask")
+	}
+	if st := c.Stats(1); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("CLOS 1 stats = %+v, want 1 hit", st)
+	}
+}
+
+func TestOracleEmptyMaskBypasses(t *testing.T) {
+	c := mustNew(t, cache.Config{Sets: 2, Ways: 2, LineSize: 64})
+	c.SetMask(3, 0)
+	for i := 0; i < 8; i++ {
+		if c.Access(3, uint64(i)*64, false) {
+			t.Fatal("bypassing CLOS should never hit")
+		}
+	}
+	st := c.Stats(3)
+	if st.Misses != 8 || st.Installs != 0 {
+		t.Errorf("bypass stats = %+v, want 8 misses, 0 installs", st)
+	}
+	if c.ValidLines() != 0 {
+		t.Errorf("bypass filled %d lines", c.ValidLines())
+	}
+}
+
+func TestOracleCrossCLOSEvictionAccounting(t *testing.T) {
+	// One set, one shared way: CLOS 1 filling displaces CLOS 0's line.
+	c := mustNew(t, cache.Config{Sets: 1, Ways: 1, LineSize: 64})
+	c.Access(0, 0*64, false)
+	c.Access(1, 1*64, false)
+	if got := c.Stats(1).EvictionsCaused; got != 1 {
+		t.Errorf("EvictionsCaused = %d, want 1", got)
+	}
+	if got := c.Stats(0).EvictionsSuffered; got != 1 {
+		t.Errorf("EvictionsSuffered = %d, want 1", got)
+	}
+	if c.Occupancy(0) != 0 || c.Occupancy(1) != 1 {
+		t.Errorf("occupancy = %d/%d, want 0/1", c.Occupancy(0), c.Occupancy(1))
+	}
+}
+
+func TestOracleBitPLRUMarkAndReset(t *testing.T) {
+	c := mustNew(t, cache.Config{Sets: 1, Ways: 2, LineSize: 64, Replace: cache.ReplaceBitPLRU})
+	c.Access(0, 0*64, false) // fill way 0, mark 0
+	c.Access(0, 1*64, false) // fill way 1; all valid marked → marks reset to {1}
+	// Way 0 is unmarked now, so the next fill victimises way 0.
+	c.Access(0, 2*64, false)
+	if c.Contains(0 * 64) {
+		t.Error("way 0 (unmarked) should have been the PLRU victim")
+	}
+	if !c.Contains(1 * 64) {
+		t.Error("way 1 (marked) should survive")
+	}
+}
+
+func TestOraclePrefetchSemantics(t *testing.T) {
+	c := mustNew(t, cache.Config{Sets: 1, Ways: 2, LineSize: 64})
+	if !c.Prefetch(0, 0) {
+		t.Fatal("prefetch of absent line should fill")
+	}
+	if c.Prefetch(0, 0) {
+		t.Fatal("prefetch of resident line should be a no-op")
+	}
+	st := c.Stats(0)
+	if st.Prefetches != 1 || st.Installs != 1 {
+		t.Errorf("stats = %+v, want 1 prefetch / 1 install", st)
+	}
+	if st.Loads != 0 || st.Misses != 0 || st.Hits != 0 {
+		t.Errorf("prefetch touched demand counters: %+v", st)
+	}
+}
+
+func TestOracleFlushKeepsMasksClearsLines(t *testing.T) {
+	c := mustNew(t, cache.Config{Sets: 2, Ways: 2, LineSize: 64})
+	c.SetMask(0, 0b01)
+	for i := 0; i < 4; i++ {
+		c.Access(0, uint64(i)*64, false)
+	}
+	c.Flush()
+	if c.ValidLines() != 0 {
+		t.Errorf("flush left %d valid lines", c.ValidLines())
+	}
+	if c.Stats(0).Misses != 0 {
+		t.Error("flush should reset statistics")
+	}
+	if c.Mask(0) != 0b01 {
+		t.Error("flush must not reprogram masks")
+	}
+}
+
+// TestCodecRoundTrip pins that corpus seeding is faithful: an encoded
+// stream decodes to exactly the configuration and ops it was built from.
+func TestCodecRoundTrip(t *testing.T) {
+	r := stats.NewRNG(11)
+	for trial := 0; trial < 200; trial++ {
+		cfg := cache.Config{
+			Sets:     1 << r.Intn(8),
+			Ways:     waysTable[r.Intn(len(waysTable))],
+			LineSize: 16 << r.Intn(4),
+			Replace:  cache.Replacement(r.Intn(3)),
+		}
+		nclos := 1 + r.Intn(16)
+		var ops []Op
+		for i := 0; i < 50; i++ {
+			switch r.Intn(5) {
+			case 0:
+				ops = append(ops, Op{Kind: OpSetMask, CLOS: r.Intn(nclos),
+					Mask: uint64(r.Intn(1<<16)) << uint(r.Intn(49))})
+			case 1:
+				ops = append(ops, Op{Kind: OpPrefetch, CLOS: r.Intn(nclos),
+					Addr: uint64(r.Intn(1<<20)) * uint64(cfg.LineSize)})
+			case 2:
+				ops = append(ops, Op{Kind: OpFlush})
+			default:
+				ops = append(ops, Op{Kind: OpAccess, CLOS: r.Intn(nclos),
+					Addr: uint64(r.Intn(1<<20)) * uint64(cfg.LineSize), Write: r.Intn(2) == 1})
+			}
+		}
+		gotCfg, gotNCLOS, gotOps := DecodeCacheStream(EncodeCacheStream(cfg, nclos, ops))
+		if gotCfg != cfg || gotNCLOS != nclos || len(gotOps) != len(ops) {
+			t.Fatalf("round trip changed header/shape: %+v/%d/%d vs %+v/%d/%d",
+				gotCfg, gotNCLOS, len(gotOps), cfg, nclos, len(ops))
+		}
+		for i := range ops {
+			if gotOps[i] != ops[i] {
+				t.Fatalf("op %d round-tripped to %v, was %v", i, gotOps[i], ops[i])
+			}
+		}
+	}
+}
+
+func TestHierarchyCodecRoundTrip(t *testing.T) {
+	r := stats.NewRNG(12)
+	for trial := 0; trial < 100; trial++ {
+		pol := cache.Replacement(r.Intn(3))
+		cfg := cache.HierarchyConfig{
+			Cores:            1 + r.Intn(4),
+			NextLinePrefetch: r.Intn(2) == 1,
+			L1:               cache.Config{Sets: 1 << r.Intn(4), Ways: 1 + r.Intn(4), LineSize: 64, Replace: pol},
+			L2:               cache.Config{Sets: 1 << r.Intn(5), Ways: 1 + r.Intn(8), LineSize: 64, Replace: pol},
+			LLC:              cache.Config{Sets: 1 << r.Intn(7), Ways: waysTable[r.Intn(len(waysTable))], LineSize: 64, Replace: pol},
+		}
+		nclos := 1 + r.Intn(16)
+		var ops []Op
+		for i := 0; i < 30; i++ {
+			switch r.Intn(6) {
+			case 0:
+				ops = append(ops, Op{Kind: OpSetMask, CLOS: r.Intn(nclos),
+					Mask: uint64(r.Intn(1<<16)) << uint(r.Intn(49))})
+			case 1:
+				ops = append(ops, Op{Kind: OpFlush})
+			default:
+				ops = append(ops, Op{Kind: OpAccess, Core: r.Intn(cfg.Cores), CLOS: r.Intn(nclos),
+					Addr: uint64(r.Intn(1<<20)) * 64, Write: r.Intn(2) == 1})
+			}
+		}
+		gotCfg, gotNCLOS, gotOps := DecodeHierarchyStream(EncodeHierarchyStream(cfg, nclos, ops))
+		if gotCfg != cfg || gotNCLOS != nclos || len(gotOps) != len(ops) {
+			t.Fatalf("round trip changed header/shape: %+v/%d/%d vs %+v/%d/%d",
+				gotCfg, gotNCLOS, len(gotOps), cfg, nclos, len(ops))
+		}
+		for i := range ops {
+			if gotOps[i] != ops[i] {
+				t.Fatalf("op %d round-tripped to %v, was %v", i, gotOps[i], ops[i])
+			}
+		}
+	}
+}
+
+// randomCacheStream builds a realistic mixed op stream: mostly accesses
+// over a footprint about twice the cache capacity (so hits and misses
+// both occur), a hot subset, interleaved prefetches, periodic mask
+// reprogramming (including bypass and ragged masks), and rare flushes
+// and stat resets.
+func randomCacheStream(r *stats.RNG, cfg cache.Config, nclos, n int) []Op {
+	lines := cfg.Sets * cfg.Ways * 2
+	if lines < 16 {
+		lines = 16
+	}
+	hot := lines/8 + 1
+	addr := func() uint64 {
+		li := r.Intn(lines)
+		if r.Float64() < 0.5 {
+			li = r.Intn(hot)
+		}
+		return uint64(li) * uint64(cfg.LineSize)
+	}
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		x := r.Float64()
+		switch {
+		case x < 0.82:
+			ops = append(ops, Op{Kind: OpAccess, CLOS: r.Intn(nclos),
+				Addr: addr(), Write: r.Float64() < 0.3})
+		case x < 0.90:
+			ops = append(ops, Op{Kind: OpPrefetch, CLOS: r.Intn(nclos), Addr: addr()})
+		case x < 0.97:
+			var mask uint64
+			switch r.Intn(4) {
+			case 0: // bypass
+			case 1: // contiguous span
+				length := 1 + r.Intn(cfg.Ways)
+				mask = ((uint64(1) << uint(length)) - 1) << uint(r.Intn(cfg.Ways))
+			default: // ragged
+				mask = r.Uint64()
+			}
+			ops = append(ops, Op{Kind: OpSetMask, CLOS: r.Intn(nclos), Mask: mask})
+		case x < 0.995:
+			ops = append(ops, Op{Kind: OpResetStats})
+		default:
+			ops = append(ops, Op{Kind: OpFlush})
+		}
+	}
+	return ops
+}
+
+// accessBudget returns the total access count for the heavyweight
+// differential tests: the acceptance floor by default, less under
+// -short, more when scripts/difftest.sh raises STAC_DIFFTEST_ACCESSES.
+func accessBudget(t *testing.T, def int) int {
+	if v := os.Getenv("STAC_DIFFTEST_ACCESSES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad STAC_DIFFTEST_ACCESSES %q: %v", v, err)
+		}
+		return n
+	}
+	if testing.Short() {
+		return def / 8
+	}
+	return def
+}
+
+// TestDifferentialRandomizedConfigs is the acceptance gate: ≥ 1M
+// accesses replayed through randomized geometries (sets, ways, line
+// sizes, replacement policies, CLOS counts, mask schedules) with zero
+// divergence between internal/cache and the oracle.
+func TestDifferentialRandomizedConfigs(t *testing.T) {
+	budget := accessBudget(t, 1_200_000)
+	r := stats.NewRNG(0xD1FF)
+	replayed := 0
+	for cfgIdx := 0; replayed < budget; cfgIdx++ {
+		cfg := cache.Config{
+			Sets:     1 << r.Intn(8),
+			Ways:     waysTable[r.Intn(len(waysTable))],
+			LineSize: 16 << r.Intn(3),
+			Replace:  cache.Replacement(cfgIdx % 3),
+		}
+		nclos := 1 + r.Intn(16)
+		ops := randomCacheStream(r, cfg, nclos, 30_000)
+		if d := DiffCache(cfg, nclos, ops, 1024); d != nil {
+			t.Fatalf("config %d (%+v, nclos=%d): %v", cfgIdx, cfg, nclos, d)
+		}
+		for _, op := range ops {
+			if op.Kind == OpAccess || op.Kind == OpPrefetch {
+				replayed++
+			}
+		}
+	}
+	t.Logf("replayed %d accesses with zero divergence", replayed)
+}
+
+// TestDifferentialRandomizedHierarchies drives the full three-level data
+// path (with the next-line streamer on and off) through random geometry
+// and mask schedules.
+func TestDifferentialRandomizedHierarchies(t *testing.T) {
+	budget := accessBudget(t, 240_000)
+	r := stats.NewRNG(0xD1FF2)
+	replayed := 0
+	for cfgIdx := 0; replayed < budget; cfgIdx++ {
+		pol := cache.Replacement(cfgIdx % 3)
+		cfg := cache.HierarchyConfig{
+			Cores:            1 + r.Intn(4),
+			NextLinePrefetch: cfgIdx%2 == 0,
+			L1:               cache.Config{Sets: 1 << r.Intn(4), Ways: 1 + r.Intn(4), LineSize: 64, Replace: pol},
+			L2:               cache.Config{Sets: 1 << r.Intn(5), Ways: 1 + r.Intn(8), LineSize: 64, Replace: pol},
+			LLC:              cache.Config{Sets: 1 << (1 + r.Intn(6)), Ways: waysTable[r.Intn(len(waysTable))], LineSize: 64, Replace: pol},
+		}
+		nclos := 1 + r.Intn(16)
+		lines := cfg.LLC.Sets * cfg.LLC.Ways * 2
+		var ops []Op
+		for i := 0; i < 20_000; i++ {
+			x := r.Float64()
+			switch {
+			case x < 0.95:
+				ops = append(ops, Op{Kind: OpAccess, Core: r.Intn(cfg.Cores),
+					CLOS: r.Intn(nclos), Addr: uint64(r.Intn(lines)) * 64,
+					Write: r.Float64() < 0.25})
+			case x < 0.995:
+				var mask uint64
+				if r.Intn(4) > 0 {
+					mask = r.Uint64()
+				}
+				ops = append(ops, Op{Kind: OpSetMask, CLOS: r.Intn(nclos), Mask: mask})
+			default:
+				ops = append(ops, Op{Kind: OpFlush})
+			}
+		}
+		if d := DiffHierarchy(cfg, nclos, ops, 4096); d != nil {
+			t.Fatalf("config %d (%+v, nclos=%d): %v", cfgIdx, cfg, nclos, d)
+		}
+		for _, op := range ops {
+			if op.Kind == OpAccess {
+				replayed++
+			}
+		}
+	}
+	t.Logf("replayed %d hierarchy accesses with zero divergence", replayed)
+}

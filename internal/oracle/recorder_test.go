@@ -1,0 +1,234 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"stac/internal/cache"
+	"stac/internal/obs"
+	"stac/internal/stats"
+)
+
+// Satellite check for the observability layer: the metric totals
+// obs.CacheRecorder aggregates from the packed implementation's event
+// stream must equal the totals computed independently from the oracle's
+// event stream, and the recorder's occupancy gauges must equal the
+// oracle's swept per-CLOS occupancy. This pins the whole chain — event
+// emission order and tags in internal/cache, and the counter/gauge
+// bookkeeping in internal/obs — to first-principles state.
+
+// expected aggregates an oracle event log the way CacheRecorder would.
+type expected struct {
+	hits, misses, installs map[[2]int]uint64
+	evCaused, evSuffered   map[[2]int]uint64
+	occupancy              map[[2]int]float64
+}
+
+func aggregate(events []event) expected {
+	e := expected{
+		hits: map[[2]int]uint64{}, misses: map[[2]int]uint64{},
+		installs: map[[2]int]uint64{}, evCaused: map[[2]int]uint64{},
+		evSuffered: map[[2]int]uint64{}, occupancy: map[[2]int]float64{},
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			if ev.hit {
+				e.hits[[2]int{ev.level, ev.a}]++
+			} else {
+				e.misses[[2]int{ev.level, ev.a}]++
+			}
+		case 1:
+			e.installs[[2]int{ev.level, ev.a}]++
+			if ev.fresh {
+				e.occupancy[[2]int{ev.level, ev.a}]++
+			}
+		default:
+			e.evCaused[[2]int{ev.level, ev.a}]++
+			e.occupancy[[2]int{ev.level, ev.a}]++
+			e.evSuffered[[2]int{ev.level, ev.b}]++
+			e.occupancy[[2]int{ev.level, ev.b}]--
+		}
+	}
+	return e
+}
+
+var levelNames = map[int]string{0: "l0", 1: "l1", 2: "l2", 3: "llc"}
+
+func counterValue(s *obs.Snapshot, name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+func gaugeValue(s *obs.Snapshot, name string) float64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// reconcile compares a registry snapshot against oracle-derived totals
+// for every (level, clos) slot either side mentions.
+func reconcile(t *testing.T, s *obs.Snapshot, want expected) {
+	t.Helper()
+	check := func(kind string, m map[[2]int]uint64) {
+		for key, v := range m {
+			name := fmt.Sprintf("cache/%s/clos%d/%s", levelNames[key[0]], key[1], kind)
+			if got := counterValue(s, name); got != v {
+				t.Errorf("%s: recorder saw %d, oracle computed %d", name, got, v)
+			}
+		}
+	}
+	check("hits", want.hits)
+	check("misses", want.misses)
+	check("installs", want.installs)
+	check("evictions_caused", want.evCaused)
+	check("evictions_suffered", want.evSuffered)
+	for key, v := range want.occupancy {
+		name := fmt.Sprintf("cache/%s/clos%d/occupancy", levelNames[key[0]], key[1])
+		if got := gaugeValue(s, name); got != v {
+			t.Errorf("%s: recorder gauge %v, oracle computed %v", name, got, v)
+		}
+	}
+	// No counter in the registry may exist without an oracle-side total.
+	for _, c := range s.Counters {
+		var kind string
+		var level, clos int
+		if n, _ := fmt.Sscanf(c.Name, "cache/l%d/clos%d/%s", &level, &clos, &kind); n != 3 {
+			if n, _ := fmt.Sscanf(c.Name, "cache/llc/clos%d/%s", &clos, &kind); n != 2 {
+				continue
+			}
+			level = 3
+		}
+		var m map[[2]int]uint64
+		switch kind {
+		case "hits":
+			m = want.hits
+		case "misses":
+			m = want.misses
+		case "installs":
+			m = want.installs
+		case "evictions_caused":
+			m = want.evCaused
+		case "evictions_suffered":
+			m = want.evSuffered
+		default:
+			continue
+		}
+		if c.Value != 0 && m[[2]int{level, clos}] == 0 {
+			t.Errorf("%s = %d in registry but oracle computed no such events", c.Name, c.Value)
+		}
+	}
+}
+
+// TestCacheRecorderMatchesOracleSingleLevel drives one CAT-partitioned
+// cache with an obs.CacheRecorder attached and reconciles every counter
+// and gauge against the oracle's independently captured event stream.
+func TestCacheRecorderMatchesOracleSingleLevel(t *testing.T) {
+	cfg := cache.Config{Sets: 32, Ways: 8, LineSize: 64}
+	nclos := 6
+	r := stats.NewRNG(31)
+	ops := randomCacheStream(r, cfg, nclos, 40_000)
+	// CacheRecorder cannot see flushes, so keep contents monotone.
+	filtered := ops[:0]
+	for _, op := range ops {
+		if op.Kind != OpFlush && op.Kind != OpResetStats {
+			filtered = append(filtered, op)
+		}
+	}
+	ops = filtered
+
+	reg := obs.NewRegistry()
+	rec := obs.NewCacheRecorder(reg)
+	fast, err := cache.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast.SetRecorder(int(cache.LevelLLC), rec)
+
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLog := &eventLog{}
+	ref.SetRecorder(int(cache.LevelLLC), refLog)
+
+	for _, op := range ops {
+		clos := op.CLOS % nclos
+		switch op.Kind {
+		case OpAccess:
+			fast.Access(clos, op.Addr, op.Write)
+			ref.Access(clos, op.Addr, op.Write)
+		case OpPrefetch:
+			fast.Prefetch(clos, op.Addr)
+			ref.Prefetch(clos, op.Addr)
+		case OpSetMask:
+			fast.SetMask(clos, op.Mask)
+			ref.SetMask(clos, op.Mask)
+		}
+	}
+
+	reconcile(t, reg.Snapshot(), aggregate(refLog.events))
+
+	// The recorder's occupancy gauges must also equal the oracle's swept
+	// ground truth (they were fed only install/eviction deltas).
+	occs := ref.Occupancies()
+	s := reg.Snapshot()
+	for clos := 0; clos < nclos; clos++ {
+		name := fmt.Sprintf("cache/llc/clos%d/occupancy", clos)
+		if got, want := gaugeValue(s, name), float64(occs[clos]); got != want {
+			t.Errorf("%s: gauge %v, swept occupancy %v", name, got, want)
+		}
+	}
+}
+
+// TestCacheRecorderMatchesOracleHierarchy does the same reconciliation
+// across the full three-level data path with the streamer enabled, so
+// prefetch-driven installs and cross-level tagging are covered too.
+func TestCacheRecorderMatchesOracleHierarchy(t *testing.T) {
+	cfg := cache.HierarchyConfig{
+		Cores:            2,
+		NextLinePrefetch: true,
+		L1:               cache.Config{Sets: 4, Ways: 2, LineSize: 64},
+		L2:               cache.Config{Sets: 8, Ways: 4, LineSize: 64},
+		LLC:              cache.Config{Sets: 32, Ways: 8, LineSize: 64},
+	}
+	nclos := 4
+	reg := obs.NewRegistry()
+	rec := obs.NewCacheRecorder(reg)
+	fast, err := cache.NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast.SetRecorder(rec)
+
+	ref, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLog := &eventLog{}
+	ref.SetRecorder(refLog)
+
+	r := stats.NewRNG(32)
+	lines := cfg.LLC.Sets * cfg.LLC.Ways * 2
+	for clos := 0; clos < nclos; clos++ {
+		fast.SetMask(clos, 0x3<<(2*clos))
+		ref.SetMask(clos, 0x3<<(2*clos))
+	}
+	for i := 0; i < 30_000; i++ {
+		core := r.Intn(cfg.Cores)
+		clos := r.Intn(nclos)
+		addr := uint64(r.Intn(lines)) * 64
+		write := r.Float64() < 0.25
+		fast.Access(core, clos, addr, write)
+		ref.Access(core, clos, addr, write)
+	}
+
+	reconcile(t, reg.Snapshot(), aggregate(refLog.events))
+}

@@ -1,0 +1,200 @@
+package oracle
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"stac/internal/cache"
+	"stac/internal/obs"
+	"stac/internal/stats"
+)
+
+// Stress tests meant to run under -race in CI. cache.Hierarchy itself is
+// documented single-threaded, so the concurrency here is placed where
+// the design actually permits it: independent hierarchy/oracle pairs per
+// goroutine (each driving its own CLOS range), all publishing through
+// ONE shared obs.CacheRecorder and registry — the lock-free atomic
+// metric path that concurrent experiment pipelines exercise for real.
+
+// TestStressConcurrentCLOS runs one differential replay per goroutine,
+// each against a private hierarchy pair with its own CLOS and mask
+// schedule, all recording into a shared registry. After the joins, the
+// shared counters must equal the sum of every pair's oracle statistics —
+// no update may be lost or double-counted under contention.
+func TestStressConcurrentCLOS(t *testing.T) {
+	const workers = 8
+	cfg := cache.HierarchyConfig{
+		Cores: 2,
+		L1:    cache.Config{Sets: 4, Ways: 2, LineSize: 64},
+		L2:    cache.Config{Sets: 8, Ways: 4, LineSize: 64},
+		LLC:   cache.Config{Sets: 64, Ways: 16, LineSize: 64},
+	}
+	reg := obs.NewRegistry()
+	rec := obs.NewCacheRecorder(reg)
+
+	refs := make([]*Hierarchy, workers)
+	divs := make([]*Divergence, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fast, err := cache.NewHierarchy(cfg)
+			if err != nil {
+				panic(err)
+			}
+			ref, err := NewHierarchy(cfg)
+			if err != nil {
+				panic(err)
+			}
+			refs[w] = ref
+			// The packed hierarchy publishes into the SHARED recorder;
+			// the oracle keeps a private log for the divergence check.
+			fast.SetRecorder(rec)
+			refLog := &eventLog{}
+			ref.SetRecorder(refLog)
+
+			clos := w % cache.MaxCLOS
+			r := stats.NewRNG(uint64(1000 + w))
+			mask := uint64(0x3) << uint(2*(w%8))
+			fast.SetMask(clos, mask)
+			ref.SetMask(clos, mask)
+			lines := cfg.LLC.Sets * cfg.LLC.Ways
+			for i := 0; i < 20_000; i++ {
+				core := r.Intn(cfg.Cores)
+				addr := uint64(r.Intn(lines)) * 64
+				write := r.Float64() < 0.3
+				g := fast.Access(core, clos, addr, write)
+				want := ref.Access(core, clos, addr, write)
+				if g != want && divs[w] == nil {
+					divs[w] = &Divergence{Step: i,
+						Op:  Op{Kind: OpAccess, Core: core, CLOS: clos, Addr: addr, Write: write},
+						Got: g.String(), Want: want.String(), Field: "level"}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, d := range divs {
+		if d != nil {
+			t.Fatalf("worker %d: %v", w, d)
+		}
+	}
+
+	// Cross-check the shared registry against the summed oracle ground
+	// truth. Workers with the same CLOS (w and w+8) share metric slots, so
+	// sum by (level, clos).
+	wantHits := map[string]uint64{}
+	wantMisses := map[string]uint64{}
+	for w, ref := range refs {
+		clos := w % cache.MaxCLOS
+		for core := 0; core < cfg.Cores; core++ {
+			l1, l2 := ref.L1Stats(core), ref.L2Stats(core)
+			wantHits["cache/l1/clos0/"] += l1.Hits
+			wantMisses["cache/l1/clos0/"] += l1.Misses
+			wantHits["cache/l2/clos0/"] += l2.Hits
+			wantMisses["cache/l2/clos0/"] += l2.Misses
+		}
+		st := ref.LLC().Stats(clos)
+		prefix := fmt.Sprintf("cache/llc/clos%d/", clos)
+		wantHits[prefix] += st.Hits
+		wantMisses[prefix] += st.Misses
+	}
+	s := reg.Snapshot()
+	counter := func(name string) uint64 {
+		for _, c := range s.Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		return 0
+	}
+	for prefix, want := range wantHits {
+		if got := counter(prefix + "hits"); got != want {
+			t.Errorf("%shits: shared recorder %d, oracle sum %d", prefix, got, want)
+		}
+	}
+	for prefix, want := range wantMisses {
+		if got := counter(prefix + "misses"); got != want {
+			t.Errorf("%smisses: shared recorder %d, oracle sum %d", prefix, got, want)
+		}
+	}
+}
+
+// TestStressInterleavedProducers has concurrent per-CLOS producers
+// generating op streams into a channel while a single consumer applies
+// them to one shared hierarchy pair in arrival order. The interleaving
+// is nondeterministic between runs, but within a run both
+// implementations see the identical sequence — so they must agree step
+// for step no matter how the scheduler merges the streams.
+func TestStressInterleavedProducers(t *testing.T) {
+	const producers = 6
+	cfg := cache.HierarchyConfig{
+		Cores:            4,
+		NextLinePrefetch: true,
+		L1:               cache.Config{Sets: 4, Ways: 2, LineSize: 64},
+		L2:               cache.Config{Sets: 8, Ways: 4, LineSize: 64},
+		LLC:              cache.Config{Sets: 32, Ways: 12, LineSize: 64},
+	}
+	fast, err := cache.NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastLog, refLog := &eventLog{}, &eventLog{}
+	fast.SetRecorder(fastLog)
+	ref.SetRecorder(refLog)
+
+	ch := make(chan Op, 256)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := stats.NewRNG(uint64(2000 + p))
+			lines := cfg.LLC.Sets * cfg.LLC.Ways * 2
+			for i := 0; i < 10_000; i++ {
+				if i%2048 == 0 {
+					ch <- Op{Kind: OpSetMask, CLOS: p,
+						Mask: uint64(0xF) << uint(r.Intn(9))}
+					continue
+				}
+				ch <- Op{Kind: OpAccess, Core: p % cfg.Cores, CLOS: p,
+					Addr: uint64(r.Intn(lines)) * 64, Write: r.Float64() < 0.25}
+			}
+		}(p)
+	}
+	go func() { wg.Wait(); close(ch) }()
+
+	step := 0
+	for op := range ch {
+		switch op.Kind {
+		case OpAccess:
+			g := fast.Access(op.Core, op.CLOS, op.Addr, op.Write)
+			w := ref.Access(op.Core, op.CLOS, op.Addr, op.Write)
+			if g != w {
+				t.Fatalf("step %d (%s): level %v, oracle %v", step, op, g, w)
+			}
+		case OpSetMask:
+			fast.SetMask(op.CLOS, op.Mask)
+			ref.SetMask(op.CLOS, op.Mask)
+		}
+		if d := diffEvents(step, op, fastLog, refLog); d != nil {
+			t.Fatal(d)
+		}
+		step++
+	}
+	for clos := 0; clos < producers; clos++ {
+		if g, w := fast.LLC().Stats(clos), ref.LLC().Stats(clos); g != w {
+			t.Fatalf("final LLC stats clos %d: %+v vs oracle %+v", clos, g, w)
+		}
+	}
+	if g, w := fast.LLC().ValidLines(), ref.LLC().ValidLines(); g != w {
+		t.Fatalf("final LLC valid lines %d, oracle %d", g, w)
+	}
+}

@@ -1,0 +1,222 @@
+package queueing
+
+import (
+	"container/heap"
+	"math"
+	"testing"
+
+	"stac/internal/stats"
+)
+
+// Property tests for the G/G/k simulator: statistical laws that must
+// hold for any correct FCFS queueing simulation, checked against
+// estimators that do not share an algebraic identity with the quantity
+// under test (so they can actually fail).
+
+// completionHeap is a min-heap of absolute completion epochs.
+type completionHeap []float64
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *completionHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// meanInSystemAtArrivals reconstructs the number of in-flight queries
+// each arrival observes (excluding itself) by sweeping arrivals in order
+// against a min-heap of completions.
+func meanInSystemAtArrivals(res Result) float64 {
+	var h completionHeap
+	total := 0.0
+	for i, at := range res.Arrivals {
+		for len(h) > 0 && h[0] <= at {
+			heap.Pop(&h)
+		}
+		total += float64(len(h))
+		heap.Push(&h, at+res.ResponseTimes[i])
+	}
+	return total / float64(len(res.Arrivals))
+}
+
+// TestPropertyLittlesLawPASTA: with Poisson arrivals, the time-average
+// number in system L equals the average seen by arriving customers
+// (PASTA), and Little's law gives L = λ·W. The left side is measured by
+// event reconstruction from Result.Arrivals, the right from measured
+// rate × mean response — two estimators that only agree when the
+// bookkeeping (arrival epochs, response times, FCFS dispatch) is
+// consistent.
+func TestPropertyLittlesLawPASTA(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"mm1-moderate", Config{
+			Servers: 1,
+			Arrival: stats.Exponential{Rate: 0.6},
+			Service: stats.Exponential{Rate: 1},
+			Timeout: math.Inf(1), BoostRate: 1,
+			Queries: 200_000, Warmup: 5_000, Seed: 1,
+		}},
+		{"mm4-busy", Config{
+			Servers: 4,
+			Arrival: stats.Exponential{Rate: 3.2},
+			Service: stats.Exponential{Rate: 1},
+			Timeout: math.Inf(1), BoostRate: 1,
+			Queries: 200_000, Warmup: 5_000, Seed: 2,
+		}},
+		{"mg2-boosted", Config{
+			Servers: 2,
+			Arrival: stats.Exponential{Rate: 1.4},
+			Service: stats.LognormalFromMeanCV(1, 0.8),
+			Timeout: 2, BoostRate: 1.5,
+			Queries: 200_000, Warmup: 5_000, Seed: 3,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Simulate(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			span := res.Arrivals[len(res.Arrivals)-1] - res.Arrivals[0]
+			lambda := float64(len(res.Arrivals)-1) / span
+			lArr := meanInSystemAtArrivals(res)
+			lLittle := lambda * res.MeanResponse()
+			if rel := math.Abs(lArr-lLittle) / lLittle; rel > 0.05 {
+				t.Fatalf("Little's law violated: L(arrivals)=%.4f λ·W=%.4f (rel err %.2f%%)",
+					lArr, lLittle, 100*rel)
+			}
+		})
+	}
+}
+
+// TestPropertyUtilizationMatchesRho: without boosting, total busy time
+// divided by k × horizon must approach ρ = λ·E[S]/k. Busy time is
+// recovered per query as response − wait (the span a server was held).
+func TestPropertyUtilizationMatchesRho(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		servers int
+		lambda  float64
+		svc     stats.Dist
+		meanS   float64
+	}{
+		{"mm1", 1, 0.7, stats.Exponential{Rate: 1}, 1},
+		{"mm3", 3, 2.1, stats.Exponential{Rate: 1}, 1},
+		{"md2", 2, 1.2, stats.Deterministic{Value: 1}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Simulate(Config{
+				Servers: tc.servers,
+				Arrival: stats.Exponential{Rate: tc.lambda},
+				Service: tc.svc,
+				Timeout: math.Inf(1), BoostRate: 1,
+				Queries: 150_000, Warmup: 5_000, Seed: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			busy := 0.0
+			horizonEnd := 0.0
+			for i := range res.Arrivals {
+				busy += res.ResponseTimes[i] - res.QueueDelays[i]
+				if c := res.Arrivals[i] + res.ResponseTimes[i]; c > horizonEnd {
+					horizonEnd = c
+				}
+			}
+			span := horizonEnd - res.Arrivals[0]
+			util := busy / (float64(tc.servers) * span)
+			rho := tc.lambda * tc.meanS / float64(tc.servers)
+			if rel := math.Abs(util-rho) / rho; rel > 0.03 {
+				t.Fatalf("utilization %.4f vs ρ=%.4f (rel err %.2f%%)", util, rho, 100*rel)
+			}
+		})
+	}
+}
+
+// TestPropertyBoostMonotonicPointwise: under the same seed, a boost with
+// BoostRate ≥ 1 and any finite timeout can only help — every single
+// query's response time is ≤ its no-boost counterpart. (FCFS dispatch
+// order is arrival order, and faster completions only pull serverFree
+// values earlier; induction over dispatches gives pointwise dominance.)
+// With BoostRate = 1 the trajectories must be bitwise identical.
+func TestPropertyBoostMonotonicPointwise(t *testing.T) {
+	base := Config{
+		Servers: 2,
+		Arrival: stats.Exponential{Rate: 1.5},
+		Service: stats.LognormalFromMeanCV(1, 1),
+		Timeout: math.Inf(1), BoostRate: 1,
+		Queries: 50_000, Warmup: 1_000, Seed: 5,
+	}
+	noBoost, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		timeout float64
+		rate    float64
+	}{
+		{"strong-boost", 1.5, 2.0},
+		{"mild-boost", 3.0, 1.2},
+		{"always-boost", 0, 4.0},
+		{"neutral-boost", 1.0, 1.0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Timeout, cfg.BoostRate = tc.timeout, tc.rate
+			boosted, err := Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range boosted.ResponseTimes {
+				if boosted.ResponseTimes[i] > noBoost.ResponseTimes[i]+1e-9 {
+					t.Fatalf("query %d: boosted response %.6f > no-boost %.6f",
+						i, boosted.ResponseTimes[i], noBoost.ResponseTimes[i])
+				}
+				if tc.rate == 1 && boosted.ResponseTimes[i] != noBoost.ResponseTimes[i] {
+					t.Fatalf("query %d: BoostRate=1 changed response %.9f → %.9f",
+						i, noBoost.ResponseTimes[i], boosted.ResponseTimes[i])
+				}
+			}
+			if tc.rate > 1 && boosted.MeanResponse() > noBoost.MeanResponse() {
+				t.Fatalf("boost raised mean response %.6f → %.6f",
+					noBoost.MeanResponse(), boosted.MeanResponse())
+			}
+		})
+	}
+}
+
+// TestPropertySeedReplayIncludesArrivals: identical configs replay to
+// identical trajectories, including the new arrival-epoch record.
+func TestPropertySeedReplayIncludesArrivals(t *testing.T) {
+	cfg := Config{
+		Servers: 2,
+		Arrival: stats.Exponential{Rate: 1.2},
+		Service: stats.LognormalFromMeanCV(1, 0.6),
+		Timeout: 2, BoostRate: 1.4,
+		Queries: 20_000, Warmup: 500, Seed: 6,
+	}
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Arrivals) != len(b.Arrivals) || len(a.Arrivals) != cfg.Queries {
+		t.Fatalf("arrival record lengths %d/%d, want %d", len(a.Arrivals), len(b.Arrivals), cfg.Queries)
+	}
+	for i := range a.Arrivals {
+		if a.Arrivals[i] != b.Arrivals[i] ||
+			a.ResponseTimes[i] != b.ResponseTimes[i] ||
+			a.QueueDelays[i] != b.QueueDelays[i] {
+			t.Fatalf("replay diverged at query %d", i)
+		}
+	}
+	for i := 1; i < len(a.Arrivals); i++ {
+		if a.Arrivals[i] < a.Arrivals[i-1] {
+			t.Fatalf("arrival epochs not monotone at %d", i)
+		}
+	}
+}

@@ -83,7 +83,13 @@ func (c Config) validate() error {
 type Result struct {
 	ResponseTimes []float64
 	QueueDelays   []float64
-	BoostedFrac   float64
+	// Arrivals holds each measured query's absolute arrival epoch, aligned
+	// with ResponseTimes/QueueDelays. Property tests reconstruct
+	// number-in-system at arrival instants from it (PASTA) to check
+	// Little's law against an estimate that does not share the identity
+	// L = λ·W trivially with the response times themselves.
+	Arrivals    []float64
+	BoostedFrac float64
 }
 
 // MeanResponse returns the average response time.
@@ -118,6 +124,7 @@ func Simulate(cfg Config) (Result, error) {
 	res := Result{
 		ResponseTimes: make([]float64, 0, cfg.Queries),
 		QueueDelays:   make([]float64, 0, cfg.Queries),
+		Arrivals:      make([]float64, 0, cfg.Queries),
 	}
 	boosted := 0
 	now := 0.0
@@ -164,6 +171,7 @@ func Simulate(cfg Config) (Result, error) {
 			}
 			res.ResponseTimes = append(res.ResponseTimes, completion-now)
 			res.QueueDelays = append(res.QueueDelays, start-now)
+			res.Arrivals = append(res.Arrivals, now)
 			if wasBoosted {
 				boosted++
 			}

@@ -85,6 +85,11 @@ type Machine struct {
 	rng  *stats.RNG
 }
 
+// Hierarchy exposes the machine's simulated cache hierarchy so callers
+// can attach recorders (obs.CacheRecorder, differential event logs)
+// before Run and audit per-level state afterwards.
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.h }
+
 // Run executes a condition from a cold machine and returns measurements.
 func Run(cond Condition) (*RunResult, error) {
 	m, err := NewMachine(cond)

@@ -1,0 +1,122 @@
+package testbed
+
+import (
+	"fmt"
+	"testing"
+
+	"stac/internal/cache"
+	"stac/internal/obs"
+	"stac/internal/workload"
+)
+
+// TestRunRecorderReconciles attaches an obs.CacheRecorder to a machine's
+// hierarchy before a full experiment run and reconciles the aggregated
+// metrics against the simulator's own per-level statistics afterwards.
+// This closes the loop the unit-level differential tests cannot: the
+// observability counters must stay truthful across a complete testbed
+// run — calibration is excluded (it uses throwaway hierarchies), the
+// measured run is included, and every boost-driven mask switch happens
+// in between.
+func TestRunRecorderReconciles(t *testing.T) {
+	cond := Pair(workload.Redis(), workload.BFS(), 0.8, 0.6, 1.5, 1.5, 42)
+	cond.QueriesPerService = 120
+	m, err := NewMachine(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.Hierarchy().SetRecorder(obs.NewCacheRecorder(reg))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	counter := func(name string) uint64 {
+		for _, c := range s.Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		return 0
+	}
+	gauge := func(name string) float64 {
+		for _, g := range s.Gauges {
+			if g.Name == name {
+				return g.Value
+			}
+		}
+		return 0
+	}
+
+	h := m.Hierarchy()
+	// Private levels report under CLOS 0 with level tags l1/l2. The run
+	// may interleave per-core streams arbitrarily, but totals must agree.
+	var l1Hits, l1Misses, l2Hits, l2Misses uint64
+	for core := 0; core < cond.Processor.Cores; core++ {
+		l1 := h.L1Stats(core)
+		l2 := h.L2Stats(core)
+		l1Hits += l1.Hits
+		l1Misses += l1.Misses
+		l2Hits += l2.Hits
+		l2Misses += l2.Misses
+	}
+	for _, tc := range []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"cache/l1/clos0/hits", counter("cache/l1/clos0/hits"), l1Hits},
+		{"cache/l1/clos0/misses", counter("cache/l1/clos0/misses"), l1Misses},
+		{"cache/l2/clos0/hits", counter("cache/l2/clos0/hits"), l2Hits},
+		{"cache/l2/clos0/misses", counter("cache/l2/clos0/misses"), l2Misses},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("%s: recorder %d, simulator %d", tc.name, tc.got, tc.want)
+		}
+	}
+	if l1Misses == 0 || l2Misses == 0 {
+		t.Error("degenerate run: no private-level misses observed")
+	}
+
+	llc := h.LLC()
+	llcActivity := uint64(0)
+	for clos := 0; clos < len(cond.Services); clos++ {
+		st := llc.Stats(clos)
+		llcActivity += st.Hits + st.Misses
+		prefix := fmt.Sprintf("cache/llc/clos%d/", clos)
+		for _, tc := range []struct {
+			name string
+			got  uint64
+			want uint64
+		}{
+			{prefix + "hits", counter(prefix + "hits"), st.Hits},
+			{prefix + "misses", counter(prefix + "misses"), st.Misses},
+			{prefix + "installs", counter(prefix + "installs"), st.Installs},
+			{prefix + "evictions_caused", counter(prefix + "evictions_caused"), st.EvictionsCaused},
+			{prefix + "evictions_suffered", counter(prefix + "evictions_suffered"), st.EvictionsSuffered},
+		} {
+			if tc.got != tc.want {
+				t.Errorf("%s: recorder %d, simulator %d", tc.name, tc.got, tc.want)
+			}
+		}
+		// The occupancy gauge is maintained from install/eviction deltas;
+		// the simulator's Occupancy is an independent incremental counter
+		// validated against the oracle's sweep elsewhere. They must agree.
+		if got, want := gauge(prefix+"occupancy"), float64(llc.Occupancy(clos)); got != want {
+			t.Errorf("%socc: gauge %v, simulator %v", prefix, got, want)
+		}
+	}
+	if llcActivity == 0 {
+		t.Error("degenerate run: no LLC traffic observed")
+	}
+
+	// Sanity: occupancy gauges across all CLOS sum to the LLC's valid
+	// lines (the recorder saw every install and eviction since cold).
+	sum := 0.0
+	for clos := 0; clos < cache.MaxCLOS; clos++ {
+		sum += gauge(fmt.Sprintf("cache/llc/clos%d/occupancy", clos))
+	}
+	if int(sum) != llc.ValidLines() {
+		t.Errorf("occupancy gauges sum to %v, LLC holds %d lines", sum, llc.ValidLines())
+	}
+}

@@ -1,0 +1,189 @@
+// Command seedcorpus regenerates the checked-in fuzz corpora from
+// deterministic sources: golden-trace-shaped streams (mirroring
+// internal/cache's golden tests) and the eight Table 1 workload kernels.
+// Each seed is written in Go's native corpus file format, so `go test
+// -fuzz` and the CI fuzz job start from realistic streams instead of
+// empty inputs.
+//
+// Usage (from the repository root):
+//
+//	go run ./scripts/seedcorpus
+//
+// The tool is idempotent — seeds are derived from fixed RNG seeds, so
+// reruns rewrite byte-identical files.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"stac/internal/cache"
+	"stac/internal/oracle"
+	"stac/internal/stats"
+	"stac/internal/workload"
+)
+
+func main() {
+	writeCacheSeeds("internal/oracle/testdata/fuzz/FuzzCacheVsOracle")
+	writeHierarchySeeds("internal/oracle/testdata/fuzz/FuzzHierarchyInclusion")
+	writeCATSeeds("internal/cat/testdata/fuzz/FuzzCATLayout")
+	fmt.Println("seed corpora regenerated")
+}
+
+// writeSeed writes one corpus entry in Go's fuzz file format.
+func writeSeed(dir, name string, values ...any) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := "go test fuzz v1\n"
+	for _, v := range values {
+		switch v := v.(type) {
+		case []byte:
+			body += fmt.Sprintf("[]byte(%q)\n", v)
+		case byte:
+			body += fmt.Sprintf("byte(%q)\n", v)
+		default:
+			log.Fatalf("unsupported corpus value type %T", v)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// goldenCacheOps reproduces the shape of the cache package's golden
+// trace: phased mask reprogramming (including a bypass phase), a mixed
+// hot/cold address stream, a prefetch every 7th op and a mid-trace stats
+// reset.
+func goldenCacheOps(cfg cache.Config, nclos int) []oracle.Op {
+	r := stats.NewRNG(42)
+	lines := uint64(cfg.Sets * cfg.Ways * 2)
+	var ops []oracle.Op
+	phases := []uint64{0xF, 0xF0, 0x0, 0xFF}
+	for p, mask := range phases {
+		for clos := 0; clos < nclos; clos++ {
+			ops = append(ops, oracle.Op{Kind: oracle.OpSetMask, CLOS: clos,
+				Mask: mask >> uint(clos)})
+		}
+		for i := 0; i < 400; i++ {
+			addr := uint64(r.Intn(int(lines))) * uint64(cfg.LineSize)
+			if i%7 == 6 {
+				ops = append(ops, oracle.Op{Kind: oracle.OpPrefetch,
+					CLOS: i % nclos, Addr: addr})
+				continue
+			}
+			ops = append(ops, oracle.Op{Kind: oracle.OpAccess, CLOS: i % nclos,
+				Addr: addr, Write: r.Float64() < 0.3})
+		}
+		if p == 1 {
+			ops = append(ops, oracle.Op{Kind: oracle.OpResetStats})
+		}
+	}
+	return ops
+}
+
+// kernelOps draws n accesses from a workload kernel's pattern generator,
+// assigning each kernel its own CLOS and interleaving a mask change at
+// the midpoint (default → boost, the STAP switch the paper studies).
+func kernelOps(k workload.Kernel, clos, n int) []oracle.Op {
+	r := stats.NewRNG(7)
+	pat := k.NewPattern(0)
+	ops := []oracle.Op{{Kind: oracle.OpSetMask, CLOS: clos, Mask: 0x3 << uint(2*clos)}}
+	for i := 0; i < n; i++ {
+		if i == n/2 {
+			ops = append(ops, oracle.Op{Kind: oracle.OpSetMask, CLOS: clos,
+				Mask: 0xF << uint(2*clos)})
+		}
+		a := pat.Next(r)
+		ops = append(ops, oracle.Op{Kind: oracle.OpAccess, CLOS: clos,
+			Addr: a.Addr, Write: a.Write})
+	}
+	return ops
+}
+
+func writeCacheSeeds(dir string) {
+	golden := cache.Config{Sets: 64, Ways: 8, LineSize: 64}
+	writeSeed(dir, "golden-lru", oracle.EncodeCacheStream(golden, 4, goldenCacheOps(golden, 4)))
+	plru := golden
+	plru.Replace = cache.ReplaceBitPLRU
+	writeSeed(dir, "golden-plru", oracle.EncodeCacheStream(plru, 4, goldenCacheOps(plru, 4)))
+	rnd := golden
+	rnd.Replace = cache.ReplaceRandom
+	writeSeed(dir, "golden-random", oracle.EncodeCacheStream(rnd, 4, goldenCacheOps(rnd, 4)))
+	wide := cache.Config{Sets: 16, Ways: 64, LineSize: 64, Replace: cache.ReplaceBitPLRU}
+	writeSeed(dir, "golden-64way", oracle.EncodeCacheStream(wide, 8, goldenCacheOps(wide, 8)))
+
+	kcfg := cache.Config{Sets: 128, Ways: 16, LineSize: 64}
+	for i, k := range workload.All() {
+		writeSeed(dir, "kernel-"+k.Name,
+			oracle.EncodeCacheStream(kcfg, 8, kernelOps(k, i%8, 1500)))
+	}
+}
+
+func writeHierarchySeeds(dir string) {
+	cfg := cache.HierarchyConfig{
+		Cores:            4,
+		NextLinePrefetch: true,
+		L1:               cache.Config{Sets: 8, Ways: 4, LineSize: 64},
+		L2:               cache.Config{Sets: 16, Ways: 8, LineSize: 64},
+		LLC:              cache.Config{Sets: 64, Ways: 20, LineSize: 64},
+	}
+	kernels := workload.All()
+	var ops []oracle.Op
+	for clos := 0; clos < 4; clos++ {
+		ops = append(ops, oracle.Op{Kind: oracle.OpSetMask, CLOS: clos,
+			Mask: 0x1F << uint(5*clos)})
+	}
+	r := stats.NewRNG(42)
+	pats := make([]workload.Pattern, 4)
+	for i := range pats {
+		pats[i] = kernels[i].NewPattern(uint64(i) << 24)
+	}
+	for i := 0; i < 3000; i++ {
+		core := i % 4
+		a := pats[core].Next(r)
+		ops = append(ops, oracle.Op{Kind: oracle.OpAccess, Core: core,
+			CLOS: core, Addr: a.Addr, Write: a.Write})
+	}
+	writeSeed(dir, "four-kernels", oracle.EncodeHierarchyStream(cfg, 4, ops))
+
+	for _, pol := range []cache.Replacement{cache.ReplaceLRU, cache.ReplaceBitPLRU, cache.ReplaceRandom} {
+		c := cfg
+		c.L1.Replace, c.L2.Replace, c.LLC.Replace = pol, pol, pol
+		c.NextLinePrefetch = pol != cache.ReplaceRandom
+		var pops []oracle.Op
+		pat := kernels[4+int(pol)].NewPattern(0)
+		pops = append(pops, oracle.Op{Kind: oracle.OpSetMask, CLOS: 1, Mask: 0xFF000})
+		for i := 0; i < 2000; i++ {
+			a := pat.Next(r)
+			pops = append(pops, oracle.Op{Kind: oracle.OpAccess, Core: i % c.Cores,
+				CLOS: i % 2, Addr: a.Addr, Write: a.Write})
+			if i == 1000 {
+				pops = append(pops, oracle.Op{Kind: oracle.OpFlush})
+			}
+		}
+		writeSeed(dir, fmt.Sprintf("kernel-%s-pol%d", kernels[4+int(pol)].Name, pol),
+			oracle.EncodeHierarchyStream(c, 2, pops))
+	}
+}
+
+func writeCATSeeds(dir string) {
+	// (totalWays, n, private, shared, shift) tuples matching FuzzCATLayout's
+	// decode: the paper's 20-way Xeon with the §5 pair/chain splits, the
+	// 11-way CBM floor, and the 64-way extreme.
+	for _, s := range []struct {
+		name                             string
+		total, n, private, shared, shift byte
+	}{
+		{"paper-pair", 20, 2, 2, 2, 0},
+		{"paper-chain4", 20, 4, 2, 2, 1},
+		{"narrow", 11, 3, 1, 2, 0},
+		{"wide", 64, 8, 3, 5, 7},
+		{"degenerate", 1, 1, 1, 0, 0},
+		{"no-shared", 20, 5, 4, 0, 3},
+	} {
+		writeSeed(dir, s.name, s.total, s.n, s.private, s.shared, s.shift)
+	}
+}
