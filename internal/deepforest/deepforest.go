@@ -13,6 +13,7 @@ import (
 
 	"stac/internal/forest"
 	"stac/internal/obs"
+	"stac/internal/par"
 	"stac/internal/stats"
 )
 
@@ -210,11 +211,14 @@ func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Model, erro
 		model.grains = append(model.grains, g)
 	}
 
-	// Base features for the cascade: original ++ MGS.
+	// Base features for the cascade: original ++ MGS. Rows are
+	// independent (pure forest evaluation), so fan them out; the result
+	// is identical at any worker count.
 	base := make([][]float64, len(x))
-	for i, row := range x {
-		base[i] = model.baseFeatures(row)
-	}
+	_ = par.ForEach(cfg.Workers, len(x), func(i int) error {
+		base[i] = model.baseFeatures(x[i])
+		return nil
+	})
 
 	// --- Cascade ---
 	concepts := make([][]float64, len(x)) // previous level's OOF concepts
@@ -287,9 +291,12 @@ func trainGrain(x [][]float64, y []float64, cfg Config, win WindowConfig, rng *s
 	if cfg.MaxMGSInstances > 0 && keep > cfg.MaxMGSInstances {
 		keep = cfg.MaxMGSInstances
 	}
-	// Deterministic subsample of (row, position) pairs.
-	xs := make([][]float64, 0, keep)
-	ys := make([]float64, 0, keep)
+	// Deterministic subsample of (row, position) pairs, extracted
+	// straight into the columnar training frame — one window-sized
+	// scratch row instead of a fresh slice per instance.
+	fr := forest.NewEmptyFrame(keep, g.wr*g.wc)
+	ys := make([]float64, keep)
+	buf := make([]float64, g.wr*g.wc)
 	stride := float64(total) / float64(keep)
 	pos := 0.0
 	for k := 0; k < keep; k++ {
@@ -299,10 +306,9 @@ func trainGrain(x [][]float64, y []float64, cfg Config, win WindowConfig, rng *s
 		}
 		row := inst / len(g.positions)
 		p := g.positions[inst%len(g.positions)]
-		buf := make([]float64, g.wr*g.wc)
 		g.extract(m, x[row], p[0], p[1], buf)
-		xs = append(xs, buf)
-		ys = append(ys, y[row])
+		fr.SetRow(k, buf)
+		ys[k] = y[row]
 		pos += stride
 	}
 
@@ -311,7 +317,7 @@ func trainGrain(x [][]float64, y []float64, cfg Config, win WindowConfig, rng *s
 	fc.Tree.ThresholdSamples = cfg.ThresholdSamples
 	fc.Workers = cfg.Workers
 	var err error
-	g.forest, err = forest.Train(xs, ys, fc, rng)
+	g.forest, err = forest.TrainFrame(fr, ys, fc, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -422,11 +428,15 @@ func (m *Model) forward(x []float64) ([]float64, float64) {
 	return all, final
 }
 
-// PredictBatch predicts every row.
+// PredictBatch predicts every row, fanning rows across the model's
+// Workers bound. One row's forward pass costs hundreds of tree
+// traversals (MGS transform + cascade), so per-row dispatch is already
+// coarse-grained; outputs are identical to the serial loop.
 func (m *Model) PredictBatch(x [][]float64) []float64 {
 	out := make([]float64, len(x))
-	for i, row := range x {
-		out[i] = m.Predict(row)
-	}
+	_ = par.ForEach(m.cfg.Workers, len(x), func(i int) error {
+		out[i] = m.Predict(x[i])
+		return nil
+	})
 	return out
 }

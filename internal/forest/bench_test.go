@@ -57,3 +57,15 @@ func BenchmarkPredict(b *testing.B) {
 		f.Predict(x[i%len(x)])
 	}
 }
+
+func BenchmarkPredictBatch(b *testing.B) {
+	x, y := benchData(2000, 50)
+	f, err := Train(x, y, RandomForest(50), stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictBatch(x)
+	}
+}

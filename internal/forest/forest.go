@@ -25,7 +25,8 @@ type Config struct {
 	// to true for best-split forests; completely-random forests rely on
 	// split randomness and train on the full set.
 	Bootstrap bool
-	// Workers bounds training parallelism; 0 means GOMAXPROCS.
+	// Workers bounds training and batch-prediction parallelism; 0 means
+	// GOMAXPROCS.
 	Workers int
 }
 
@@ -44,17 +45,23 @@ func CompletelyRandomForest(nTrees int) Config {
 // Forest is a trained ensemble of regression trees.
 type Forest struct {
 	trees []*Tree
+	// workers bounds PredictBatch parallelism; 0 means GOMAXPROCS. Set
+	// from Config.Workers at training time, adjustable via SetWorkers;
+	// deliberately not serialised (it is a property of the host, not the
+	// model).
+	workers int
 }
 
 // NumTrees returns the ensemble size.
 func (f *Forest) NumTrees() int { return len(f.trees) }
 
-// Train fits a forest on the feature matrix x and targets y.
-// Trees are trained in parallel; each tree owns an RNG split
-// deterministically from rng *before* dispatch, so results are
-// reproducible regardless of scheduling. The first tree error cancels
-// dispatch of trees not yet started and is returned tagged with the
-// failing tree's index.
+// SetWorkers bounds PredictBatch parallelism for a forest constructed
+// elsewhere (e.g. deserialised); 0 means GOMAXPROCS.
+func (f *Forest) SetWorkers(w int) { f.workers = w }
+
+// Train fits a forest on the feature matrix x and targets y. It gathers
+// x into a columnar Frame once and shares it across all trees; see
+// TrainFrame for callers that already hold a Frame.
 func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Forest, error) {
 	if cfg.Trees <= 0 {
 		return nil, fmt.Errorf("forest: Trees must be positive, got %d", cfg.Trees)
@@ -62,25 +69,49 @@ func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Forest, err
 	if len(x) == 0 || len(x) != len(y) {
 		return nil, fmt.Errorf("forest: bad training shapes: %d rows, %d targets", len(x), len(y))
 	}
+	return TrainFrame(NewFrame(x), y, cfg, rng)
+}
+
+// TrainFrame fits a forest on a columnar frame and targets y.
+// Trees are trained in parallel; each tree owns an RNG split
+// deterministically from rng *before* dispatch, so results are
+// reproducible regardless of scheduling. The first tree error cancels
+// dispatch of trees not yet started and is returned tagged with the
+// failing tree's index.
+func TrainFrame(fr *Frame, y []float64, cfg Config, rng *stats.RNG) (*Forest, error) {
+	if cfg.Trees <= 0 {
+		return nil, fmt.Errorf("forest: Trees must be positive, got %d", cfg.Trees)
+	}
+	if fr.n == 0 || fr.n != len(y) {
+		return nil, fmt.Errorf("forest: bad training shapes: %d rows, %d targets", fr.n, len(y))
+	}
+	var tieRisk []bool
+	if cfg.Tree.ThresholdSamples <= 0 && !cfg.Tree.CompletelyRandom {
+		// Exact-sweep trees share the frame's presorted orders and
+		// tie-risk flags; build both before the fan-out so the shared
+		// state is read-only under concurrency.
+		fr.buildSorted()
+		tieRisk = frameTieRisk(fr, y)
+	}
 
 	// Derive per-tree RNGs up front for determinism.
 	rngs := rng.SplitN(cfg.Trees)
 	trees := make([]*Tree, cfg.Trees)
 	t0 := time.Now()
 	if err := par.ForEach(cfg.Workers, cfg.Trees, func(t int) error {
-		return buildForestTree(x, y, cfg, t, rngs[t], trees)
+		return buildForestTree(fr, y, cfg, t, rngs[t], tieRisk, trees)
 	}); err != nil {
 		return nil, err
 	}
 	forestTrainSeconds.Observe(time.Since(t0).Seconds())
 	forestTreesTrained.Add(uint64(cfg.Trees))
-	return &Forest{trees: trees}, nil
+	return &Forest{trees: trees, workers: cfg.Workers}, nil
 }
 
 // buildForestTree grows tree t into trees[t], wrapping any failure with
 // the tree index so parallel training reports which estimator broke.
-func buildForestTree(x [][]float64, y []float64, cfg Config, t int, r *stats.RNG, trees []*Tree) error {
-	n := len(x)
+func buildForestTree(fr *Frame, y []float64, cfg Config, t int, r *stats.RNG, tieRisk []bool, trees []*Tree) error {
+	n := fr.n
 	idx := make([]int, n)
 	if cfg.Bootstrap {
 		for i := range idx {
@@ -91,7 +122,7 @@ func buildForestTree(x [][]float64, y []float64, cfg Config, t int, r *stats.RNG
 			idx[i] = i
 		}
 	}
-	tree, err := BuildTree(x, y, idx, cfg.Tree, r)
+	tree, err := buildTreeTies(fr, y, idx, cfg.Tree, r, tieRisk)
 	if err != nil {
 		return fmt.Errorf("forest: tree %d: %w", t, err)
 	}
@@ -111,12 +142,35 @@ func (f *Forest) Predict(x []float64) float64 {
 	return sum / float64(len(f.trees))
 }
 
-// PredictBatch predicts every row of x.
+// predictBatchChunk is the parallel grain for PredictBatch: small enough
+// to balance uneven tree depths across workers, large enough that the
+// dispatch overhead disappears behind len(trees) traversals per row.
+const predictBatchChunk = 64
+
+// PredictBatch predicts every row of x, fanning chunks of rows across
+// the forest's worker bound. Row i's output depends only on row i, so
+// the parallel result is identical to the serial one.
 func (f *Forest) PredictBatch(x [][]float64) []float64 {
 	out := make([]float64, len(x))
-	for i, row := range x {
-		out[i] = f.Predict(row)
+	if len(x) <= predictBatchChunk || par.Workers(f.workers) == 1 {
+		for i, row := range x {
+			out[i] = f.Predict(row)
+		}
+		return out
 	}
+	chunks := (len(x) + predictBatchChunk - 1) / predictBatchChunk
+	// The worker func never errors, so ForEach cannot fail.
+	_ = par.ForEach(f.workers, chunks, func(c int) error {
+		lo := c * predictBatchChunk
+		hi := lo + predictBatchChunk
+		if hi > len(x) {
+			hi = len(x)
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = f.Predict(x[i])
+		}
+		return nil
+	})
 	return out
 }
 

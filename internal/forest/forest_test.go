@@ -295,7 +295,7 @@ func TestBuildForestTreeErrorCarriesIndex(t *testing.T) {
 	// BuildTree rejects empty inputs; the per-tree wrapper must tag the
 	// failure with the tree index so parallel training is debuggable.
 	trees := make([]*Tree, 8)
-	err := buildForestTree(nil, nil, RandomForest(8), 5, stats.NewRNG(1), trees)
+	err := buildForestTree(NewFrame(nil), nil, RandomForest(8), 5, stats.NewRNG(1), nil, trees)
 	if err == nil {
 		t.Fatal("expected an error for empty training data")
 	}

@@ -100,12 +100,15 @@ func Train(x [][]float64, y []float64, cfg Config, rng *stats.RNG) (*Model, erro
 	if sampleSize < 1 {
 		sampleSize = 1
 	}
+	// Features are fixed across rounds (only residuals change), so gather
+	// the columnar frame once instead of once per tree.
+	fr := forest.NewFrame(x)
 	for round := 0; round < cfg.Trees; round++ {
 		for i := range resid {
 			resid[i] = y[i] - pred[i]
 		}
 		idx := rng.Perm(n)[:sampleSize]
-		tree, err := forest.BuildTree(x, resid, idx, tcfg, rng)
+		tree, err := forest.BuildTreeFrame(fr, resid, idx, tcfg, rng)
 		if err != nil {
 			return nil, err
 		}

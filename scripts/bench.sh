@@ -2,20 +2,22 @@
 # bench.sh — capture the simulator's performance trajectory.
 #
 # Runs the internal/cache micro-benchmarks (per-access cost of the
-# probe/fill hot path) plus one end-to-end fig6 regeneration (the
-# experiment pipeline's wall-clock floor), and writes BENCH_cache.json so
-# successive PRs can compare against a recorded baseline with benchstat
-# or by diffing the JSON.
+# probe/fill hot path) and the internal/forest + internal/deepforest
+# training/prediction benchmarks (the stage-2 model's wall-clock floor),
+# plus one end-to-end fig6 regeneration, and writes BENCH_cache.json and
+# BENCH_forest.json so successive PRs can compare against a recorded
+# baseline with benchstat or by diffing the JSON.
 #
 # Usage:
 #   scripts/bench.sh            full run (8 samples per benchmark)
 #   scripts/bench.sh -short     CI-sized run (3 samples, short benchtime)
 #   scripts/bench.sh --compare  CI-sized run, then print a per-benchmark
 #                               markdown delta table against the committed
-#                               baseline (git show HEAD:BENCH_cache.json)
+#                               baselines (git show HEAD:BENCH_*.json)
 #
 # Environment:
-#   BENCH_OUT   output path (default BENCH_cache.json at the repo root)
+#   BENCH_OUT         cache output path (default BENCH_cache.json)
+#   BENCH_FOREST_OUT  forest output path (default BENCH_forest.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,25 +38,38 @@ case "${1:-}" in
     COMPARE=1
     ;;
 esac
-OUT=${BENCH_OUT:-BENCH_cache.json}
+CACHE_OUT=${BENCH_OUT:-BENCH_cache.json}
+FOREST_OUT=${BENCH_FOREST_OUT:-BENCH_forest.json}
 
-# Snapshot the committed baseline before the run overwrites $OUT.
-BASELINE=""
-if [[ "$COMPARE" == 1 ]]; then
-    BASELINE=$(mktemp)
-    if ! git show HEAD:BENCH_cache.json > "$BASELINE" 2>/dev/null; then
-        echo "bench.sh: no committed BENCH_cache.json at HEAD; nothing to compare" >&2
-        rm -f "$BASELINE"
-        BASELINE=""
+# Snapshot the committed baselines before the run overwrites the outputs.
+snapshot_baseline() { # <committed name> -> prints tmp path or nothing
+    local tmp
+    tmp=$(mktemp)
+    if git show "HEAD:$1" > "$tmp" 2>/dev/null; then
+        echo "$tmp"
+    else
+        echo "bench.sh: no committed $1 at HEAD; nothing to compare" >&2
+        rm -f "$tmp"
     fi
+}
+CACHE_BASELINE=""
+FOREST_BASELINE=""
+if [[ "$COMPARE" == 1 ]]; then
+    CACHE_BASELINE=$(snapshot_baseline BENCH_cache.json)
+    FOREST_BASELINE=$(snapshot_baseline BENCH_forest.json)
 fi
 
-RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+RAW_CACHE=$(mktemp)
+RAW_FOREST=$(mktemp)
+trap 'rm -f "$RAW_CACHE" "$RAW_FOREST"' EXIT
 
 echo "== micro-benchmarks (internal/cache, count=$COUNT, benchtime=$BENCHTIME) =="
 go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
-    ./internal/cache | tee "$RAW"
+    ./internal/cache | tee "$RAW_CACHE"
+
+echo "== training benchmarks (internal/forest + internal/deepforest) =="
+go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
+    ./internal/forest ./internal/deepforest | tee "$RAW_FOREST"
 
 echo "== end-to-end: fig6 regeneration wall clock =="
 go build -o /tmp/stac-bench ./cmd/stac
@@ -67,13 +82,18 @@ echo "fig6 wall clock: ${FIG6}s"
 GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 GO_VERSION=$(go env GOVERSION)
 
-python3 - "$RAW" "$OUT" "$MODE" "$FIG6" "$GIT_REV" "$GO_VERSION" <<'PYEOF'
+# emit_json <raw> <out> <withfig6> — aggregate one `go test -bench`
+# capture into a baseline document. The fig6 wall clock rides along in
+# the cache file only (it measures the whole pipeline, not the training
+# stack in isolation).
+emit_json() {
+    python3 - "$1" "$2" "$MODE" "$FIG6" "$GIT_REV" "$GO_VERSION" "$3" <<'PYEOF'
 import json
 import re
 import sys
 import time
 
-raw, out, mode, fig6, git_rev, go_version = sys.argv[1:7]
+raw, out, mode, fig6, git_rev, go_version, withfig6 = sys.argv[1:8]
 
 # Lines look like:
 # BenchmarkAccessHit-8   274317721   4.593 ns/op   0 B/op   0 allocs/op
@@ -108,21 +128,28 @@ doc = {
     "go": go_version,
     "mode": mode,
     "benchmarks": dict(sorted(bench.items())),
-    "fig6_wall_clock_seconds": float(fig6),
 }
+if withfig6 == "1":
+    doc["fig6_wall_clock_seconds"] = float(fig6)
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out}")
 PYEOF
+}
 
-# --compare: render the per-benchmark delta table. ns/op compares the
+emit_json "$RAW_CACHE" "$CACHE_OUT" 1
+emit_json "$RAW_FOREST" "$FOREST_OUT" 0
+
+# --compare: render the per-benchmark delta tables. ns/op compares the
 # per-benchmark minimum (least scheduler noise); memory columns only show
 # when they changed. Informational only — the CI bench job is non-blocking.
-if [[ -n "$BASELINE" ]]; then
+compare_json() { # <baseline tmp> <current out> <committed name>
+    local baseline=$1 current=$2 name=$3
+    [[ -n "$baseline" ]] || return 0
     echo
-    echo "== delta vs committed baseline (HEAD:BENCH_cache.json) =="
-    python3 - "$BASELINE" "$OUT" <<'PYEOF'
+    echo "== delta vs committed baseline (HEAD:$name) =="
+    python3 - "$baseline" "$current" <<'PYEOF'
 import json
 import sys
 
@@ -154,5 +181,8 @@ bw, cw = base.get("fig6_wall_clock_seconds"), cur.get("fig6_wall_clock_seconds")
 if bw and cw:
     print(f"| fig6 wall clock | {bw:.2f}s | {cw:.2f}s | {(cw - bw) / bw * 100:+.1f}% | |")
 PYEOF
-    rm -f "$BASELINE"
-fi
+    rm -f "$baseline"
+}
+
+compare_json "$CACHE_BASELINE" "$CACHE_OUT" BENCH_cache.json
+compare_json "$FOREST_BASELINE" "$FOREST_OUT" BENCH_forest.json
