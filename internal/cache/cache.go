@@ -126,18 +126,32 @@ func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
 // set's entire probe/victim state.
 const (
 	metaValid = iota // bit w set ⇔ way w holds a valid line
-	metaMRU          // bit-PLRU mark bits
+	metaMRU          // bit-PLRU mark bits, or packed LRU ranks (rankLRU)
 	metaSig          // first of the byte-per-way partial-tag words
 )
 
+// rankInit is the identity permutation of LRU rank bytes: lane w starts
+// at rank w, so unused lanes (w >= ways) permanently hold values above
+// every reachable rank and can never alias the victim rank ways-1.
+const rankInit = 0x0706050403020100
+
 // metaWords returns the per-set metadata footprint in uint64 words.
-func metaWords(ways int) int { return metaSig + (ways+7)/8 }
+func metaWords(cfg Config) int {
+	return metaSig + (cfg.Ways+7)/8
+}
 
 // SWAR constants for byte-granular zero detection in signature words.
 const (
 	sigLo = 0x0101010101010101
 	sigHi = 0x8080808080808080
 )
+
+// line is one way's full-tag and recency state, kept side by side so
+// the hot path's tag confirm and stamp update share a cache line.
+type line struct {
+	tag     uint64
+	lastUse uint64
+}
 
 // Cache is a single level of set-associative cache with CAT way masks.
 // It is not safe for concurrent use; the simulated machine serialises
@@ -146,16 +160,30 @@ type Cache struct {
 	cfg      Config
 	ways     int
 	stride   int // metaWords(ways)
+	sigWords int // stride - metaSig
 	setShift uint
 	tagShift uint
 	setMask  uint64
 	full     uint64      // fullMask(ways)
 	replace  Replacement // cfg.Replace, hoisted off the hot path
+	// rankLRU marks narrow LRU caches that maintain a byte-per-way LRU
+	// rank permutation in the (otherwise dead) metaMRU word, giving the
+	// private-path victim selection O(1) bit arithmetic instead of a
+	// lastUse scan. Ranks mirror the lastUse order exactly — recency
+	// stamps are unique — so every path may keep using the scan and both
+	// agree on the victim.
+	rankLRU bool
+	// usedLo (rankLRU only) holds 0x01 in every used byte lane — the
+	// one-per-lane increment that ages a whole set when the victim is
+	// the oldest way.
+	usedLo uint64
 
-	// Flat line arrays indexed by set*ways+way.
-	tags    []uint64
-	lastUse []uint64
-	owner   []uint8
+	// Flat line array indexed by set*ways+way. Tag and recency stamp
+	// are interleaved so a hit's tag confirm and stamp write touch one
+	// real cache line instead of two (the LLC's line state is ~160 KB —
+	// far beyond the host L2 — so every extra array is an extra miss).
+	lines []line
+	owner []uint8
 	// meta packs per-set valid/MRU bitmasks and partial-tag signatures.
 	meta []uint64
 
@@ -176,23 +204,35 @@ type Cache struct {
 // adjacent in memory instead of scattered across the heap.
 type arena struct {
 	words []uint64
+	lines []line
 	bytes []uint8
 }
 
 // newArena sizes an arena for the given cache geometries.
 func newArena(cfgs ...Config) *arena {
-	var words, nbytes int
+	var words, nlines, nbytes int
 	for _, cfg := range cfgs {
 		lines := cfg.Sets * cfg.Ways
-		words += 2*lines + cfg.Sets*metaWords(cfg.Ways) // tags + lastUse + meta
-		nbytes += lines                                 // owner
+		words += cfg.Sets * metaWords(cfg)
+		nlines += lines
+		nbytes += lines // owner
 	}
-	return &arena{words: make([]uint64, words), bytes: make([]uint8, nbytes)}
+	return &arena{
+		words: make([]uint64, words),
+		lines: make([]line, nlines),
+		bytes: make([]uint8, nbytes),
+	}
 }
 
 func (a *arena) takeWords(n int) []uint64 {
 	s := a.words[:n:n]
 	a.words = a.words[n:]
+	return s
+}
+
+func (a *arena) takeLines(n int) []line {
+	s := a.lines[:n:n]
+	a.lines = a.lines[n:]
 	return s
 }
 
@@ -218,21 +258,28 @@ func newInArena(cfg Config, a *arena) *Cache {
 	c := &Cache{
 		cfg:      cfg,
 		ways:     cfg.Ways,
-		stride:   metaWords(cfg.Ways),
+		stride:   metaWords(cfg),
+		sigWords: (cfg.Ways + 7) / 8,
 		setShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
 		tagShift: uint(bits.TrailingZeros(uint(cfg.Sets))),
 		setMask:  uint64(cfg.Sets - 1),
 		full:     fullMask(cfg.Ways),
 		replace:  cfg.Replace,
-		tags:     a.takeWords(n),
-		lastUse:  a.takeWords(n),
-		meta:     a.takeWords(cfg.Sets * metaWords(cfg.Ways)),
+		lines:    a.takeLines(n),
+		meta:     a.takeWords(cfg.Sets * metaWords(cfg)),
 		owner:    a.takeBytes(n),
 		rngState: 0x9e3779b97f4a7c15,
 	}
 	full := fullMask(cfg.Ways)
 	for i := range c.masks {
 		c.masks[i] = full
+	}
+	c.rankLRU = cfg.Ways <= 8 && cfg.Replace == ReplaceLRU
+	if c.rankLRU {
+		c.usedLo = sigLo >> uint(8*(8-cfg.Ways))
+		for s := 0; s < cfg.Sets; s++ {
+			c.meta[s*c.stride+metaMRU] = rankInit
+		}
 	}
 	return c
 }
@@ -260,6 +307,11 @@ func (c *Cache) Mask(clos int) uint64 { return c.masks[clos] }
 
 // Stats returns a copy of the accounting for a CLOS.
 func (c *Cache) Stats(clos int) Stats { return c.stats[clos] }
+
+// Misses returns just the miss count for a CLOS without copying the
+// whole Stats block — the testbed polls this every quantum for its
+// bandwidth-pressure EWMA.
+func (c *Cache) Misses(clos int) uint64 { return c.stats[clos].Misses }
 
 // ResetStats zeroes all per-CLOS accounting without disturbing contents.
 func (c *Cache) ResetStats() {
@@ -302,18 +354,19 @@ func (c *Cache) Access(clos int, addr uint64, write bool) bool {
 	// Probe, hand-inlined from (*Cache).probe (the compiler won't inline
 	// the loop, and the call sits on the single hottest path in the
 	// repository): hits are allowed in any way regardless of the mask.
-	meta := c.meta[mb : mb+c.stride]
-	valid := meta[metaValid]
+	valid := c.meta[mb+metaValid]
 	pat := (tag & 0xFF) * sigLo
-	for j, sw := range meta[metaSig:] {
+	for j, sw := range c.meta[mb+metaSig : mb+metaSig+c.sigWords] {
 		x := sw ^ pat
 		z := (x - sigLo) &^ x & sigHi
 		for ; z != 0; z &= z - 1 {
 			w := j<<3 + bits.TrailingZeros64(z)>>3
-			if valid&(1<<uint(w)) != 0 && c.tags[base+w] == tag {
+			if valid&(1<<uint(w)) != 0 && c.lines[base+w].tag == tag {
 				st.Hits++
-				c.lastUse[base+w] = c.clock
-				if c.replace == ReplaceBitPLRU {
+				c.lines[base+w].lastUse = c.clock
+				if c.rankLRU {
+					c.touchRank(mb, w)
+				} else if c.replace == ReplaceBitPLRU {
 					c.touchMRU(mb, w)
 				}
 				if c.rec != nil {
@@ -332,7 +385,56 @@ func (c *Cache) Access(clos int, addr uint64, write bool) bool {
 	if c.rec != nil {
 		c.rec.CacheAccess(c.level, clos, false, write)
 	}
-	c.install(st, clos, mb, base, tag)
+	// Fill, hand-inlined from (*Cache).install for the LRU common case:
+	// the shared LLC sits on the same hot path as the private levels, and
+	// inlining both saves the call pair and reuses the valid word the
+	// probe already holds. Non-LRU policies take the general path.
+	if c.replace != ReplaceLRU {
+		c.install(st, clos, mb, base, tag)
+		return false
+	}
+	mask := c.masks[clos]
+	if mask == 0 {
+		return false // bypass — no way to install into
+	}
+	var w int
+	fresh := false
+	if inv := mask &^ valid; inv != 0 {
+		w = bits.TrailingZeros64(inv)
+		fresh = true
+	} else {
+		w = -1
+		oldest := ^uint64(0)
+		for m := mask; m != 0; m &= m - 1 {
+			cand := bits.TrailingZeros64(m)
+			if lu := c.lines[base+cand].lastUse; lu < oldest {
+				oldest, w = lu, cand
+			}
+		}
+	}
+	i := base + w
+	if fresh {
+		c.meta[mb+metaValid] = valid | 1<<uint(w)
+		c.occ[clos]++
+	} else if old := int(c.owner[i]); old != clos {
+		st.EvictionsCaused++
+		c.stats[old].EvictionsSuffered++
+		c.occ[old]--
+		c.occ[clos]++
+		if c.rec != nil {
+			c.rec.CacheEviction(c.level, clos, old)
+		}
+	}
+	c.lines[i] = line{tag: tag, lastUse: c.clock}
+	c.owner[i] = uint8(clos)
+	c.setSig(mb, w, tag)
+	if c.rankLRU {
+		c.touchRank(mb, w)
+	}
+	st.Installs++
+	if c.rec != nil {
+		c.rec.CacheInstall(c.level, clos, fresh)
+	}
 	return false
 }
 
@@ -344,7 +446,7 @@ func (c *Cache) Access(clos int, addr uint64, write bool) bool {
 // unique among a set's valid lines (fills happen only after a failed
 // probe), so match order cannot matter.
 func (c *Cache) probe(mb, base int, tag uint64) int {
-	meta := c.meta[mb : mb+c.stride]
+	meta := c.meta[mb : mb+metaSig+c.sigWords]
 	valid := meta[metaValid]
 	if valid == 0 {
 		return -1
@@ -358,7 +460,7 @@ func (c *Cache) probe(mb, base int, tag uint64) int {
 		z := (x - sigLo) &^ x & sigHi
 		for ; z != 0; z &= z - 1 {
 			w := j<<3 + bits.TrailingZeros64(z)>>3
-			if valid&(1<<uint(w)) != 0 && c.tags[base+w] == tag {
+			if valid&(1<<uint(w)) != 0 && c.lines[base+w].tag == tag {
 				return w
 			}
 		}
@@ -400,11 +502,12 @@ func (c *Cache) install(st *Stats, clos, mb, base int, tag uint64) bool {
 		c.meta[mb+metaValid] |= bit
 		c.occ[clos]++
 	}
-	c.tags[i] = tag
+	c.lines[i] = line{tag: tag, lastUse: c.clock}
 	c.owner[i] = uint8(clos)
-	c.lastUse[i] = c.clock
 	c.setSig(mb, w, tag)
-	if c.replace == ReplaceBitPLRU {
+	if c.rankLRU {
+		c.touchRank(mb, w)
+	} else if c.replace == ReplaceBitPLRU {
 		c.touchMRU(mb, w)
 	}
 	st.Installs++
@@ -454,12 +557,38 @@ func (c *Cache) victim(mb, base int, mask uint64) int {
 		oldest := ^uint64(0)
 		for m := mask; m != 0; m &= m - 1 {
 			cand := bits.TrailingZeros64(m)
-			if lu := c.lastUse[base+cand]; lu < oldest {
+			if lu := c.lines[base+cand].lastUse; lu < oldest {
 				oldest, w = lu, cand
 			}
 		}
 		return w
 	}
+}
+
+// touchRank moves way w to the front of the set's packed LRU rank
+// permutation: lanes younger than w's old rank age by one, w becomes
+// rank 0. All arithmetic is lane-local — rank values never exceed 7 and
+// the per-lane bias (0x80-r) keeps every sum below 0x88, so no carries
+// cross byte lanes.
+func (c *Cache) touchRank(mb, w int) {
+	ranks := c.meta[mb+metaMRU]
+	sh := uint(w) << 3
+	r := ranks >> sh & 0xFF
+	t := ranks + (0x80-r)*sigLo // lane high bit set ⇔ lane rank >= r
+	ranks += (^t & sigHi) >> 7  // age every lane younger than r
+	c.meta[mb+metaMRU] = ranks &^ (0xFF << sh)
+}
+
+// rankVictim returns the way holding rank ways-1 — the least recently
+// used way — via the same SWAR zero-byte search as the signature probe.
+// Valid only when every way is valid (the caller prefers invalid ways
+// first): the used lanes then form a full rank permutation, so exactly
+// one lane matches and borrow false positives (which only occur above a
+// true match) cannot precede it.
+func (c *Cache) rankVictim(mb int) int {
+	y := c.meta[mb+metaMRU] ^ uint64(c.ways-1)*sigLo
+	z := (y - sigLo) &^ y & sigHi
+	return bits.TrailingZeros64(z) >> 3
 }
 
 // touchMRU marks way w most-recently-used for bit-PLRU and resets the
@@ -480,6 +609,110 @@ func (c *Cache) nextRand() uint64 {
 	x ^= x << 17
 	c.rngState = x
 	return x
+}
+
+// privateEligible reports whether accessPrivate may serve this cache:
+// geometry small enough for a single signature word, plain LRU, and the
+// CLOS-0 mask fully open (private levels never get CAT masks). Checked
+// once at hierarchy construction; SetMask on CLOS 0 re-evaluates.
+func (c *Cache) privateEligible() bool {
+	return c.ways <= 8 && c.replace == ReplaceLRU && c.masks[0] == c.full
+}
+
+// accessPrivate is Access specialised for a hierarchy's private levels:
+// CLOS is pinned to 0, the set owns exactly one signature word (ways
+// ≤ 8 ⇒ stride == 3), replacement is LRU over a fully-open mask, and —
+// because no other CLOS can ever install here — the cross-CLOS eviction
+// accounting vanishes. Behaviour (stats, recorder events, line state)
+// is bit-identical to Access(0, addr, write); TestPrivateAccessMatches
+// runs the two against each other.
+func (c *Cache) accessPrivate(addr uint64, write bool) bool {
+	st := &c.stats[0]
+	// Branchless load/store split: the write flag follows the workload's
+	// access mix, so a branch here mispredicts constantly on the hottest
+	// path in the repository. The bool-to-int form compiles to a flag
+	// materialisation instead.
+	wr := uint64(0)
+	if write {
+		wr = 1
+	}
+	st.Stores += wr
+	st.Loads += 1 - wr
+	c.clock++
+
+	lineAddr := addr >> c.setShift
+	set := int(lineAddr & c.setMask)
+	tag := lineAddr >> c.tagShift
+	base := set * c.ways
+	mb := set * 3
+
+	// One bounds check for the whole set: mw pins the set's three meta
+	// words so every use below is a constant index the compiler can prove.
+	mw := c.meta[mb : mb+3 : mb+3]
+	valid := mw[metaValid]
+	pat := (tag & 0xFF) * sigLo
+	x := mw[metaSig] ^ pat
+	z := (x - sigLo) &^ x & sigHi
+	for ; z != 0; z &= z - 1 {
+		w := bits.TrailingZeros64(z) >> 3
+		if valid&(1<<uint(w)) != 0 && c.lines[base+w].tag == tag {
+			st.Hits++
+			c.lines[base+w].lastUse = c.clock
+			c.touchRank(mb, w)
+			if c.rec != nil {
+				c.rec.CacheAccess(c.level, 0, true, write)
+			}
+			return true
+		}
+	}
+	st.Misses++
+	st.StoreMisses += wr
+	st.LoadMisses += 1 - wr
+	if c.rec != nil {
+		c.rec.CacheAccess(c.level, 0, false, write)
+	}
+
+	// Install: prefer an invalid way, else the O(1) LRU rank victim
+	// (private caches are always rankLRU — the eligibility gate requires
+	// ways <= 8 and plain LRU). The rank, signature and valid updates are
+	// fused on the words the probe already loaded: one read-modify-write
+	// per meta word instead of a reload in every helper.
+	ranks := mw[metaMRU]
+	var w int
+	var sh uint
+	fresh := false
+	if inv := c.full &^ valid; inv != 0 {
+		w = bits.TrailingZeros64(inv)
+		fresh = true
+		mw[metaValid] = valid | 1<<uint(w)
+		c.occ[0]++
+		sh = uint(w) << 3
+		r := ranks >> sh & 0xFF
+		t := ranks + (0x80-r)*sigLo
+		ranks += (^t & sigHi) >> 7
+		ranks &^= 0xFF << sh
+	} else {
+		// Steady state: every way is valid, so the victim holds the
+		// maximum rank ways-1 and every other used lane is strictly
+		// younger. The general aging (increment lanes ranked below the
+		// victim) collapses to one add over the used lanes — the victim
+		// wraps past ways-1 and is cleared back to rank 0.
+		y := ranks ^ uint64(c.ways-1)*sigLo
+		zz := (y - sigLo) &^ y & sigHi
+		w = bits.TrailingZeros64(zz) >> 3
+		sh = uint(w) << 3
+		ranks = (ranks + c.usedLo) &^ (0xFF << sh)
+	}
+	mw[metaMRU] = ranks
+	mw[metaSig] = (x^pat)&^(0xFF<<sh) | (tag&0xFF)<<sh
+	i := base + w
+	c.lines[i] = line{tag: tag, lastUse: c.clock}
+	c.owner[i] = 0
+	st.Installs++
+	if c.rec != nil {
+		c.rec.CacheInstall(c.level, 0, fresh)
+	}
+	return false
 }
 
 // Prefetch installs the line containing addr for clos without touching

@@ -29,9 +29,9 @@ func (c *Cache) ResidentLines() []Line {
 			}
 			out = append(out, Line{
 				Set: s, Way: w,
-				Tag:     c.tags[base+w],
+				Tag:     c.lines[base+w].tag,
 				CLOS:    int(c.owner[base+w]),
-				LastUse: c.lastUse[base+w],
+				LastUse: c.lines[base+w].lastUse,
 			})
 		}
 	}

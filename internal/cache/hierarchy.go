@@ -69,6 +69,11 @@ type Hierarchy struct {
 	l1             []*Cache // one per core (CLOS 0 only)
 	l2             []*Cache
 	llc            *Cache
+	// fastPriv gates the specialised private-level access path: both
+	// private geometries fit one signature word, use LRU, and keep their
+	// CLOS-0 mask fully open. Evaluated once at construction — the
+	// hierarchy never re-masks or re-policies its private levels.
+	fastPriv bool
 }
 
 // NewHierarchy builds the hierarchy. All per-core caches and the LLC
@@ -95,6 +100,7 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		h.l2 = append(h.l2, newInArena(cfg.L2, a))
 	}
 	h.llc = newInArena(cfg.LLC, a)
+	h.fastPriv = h.l1[0].privateEligible() && h.l2[0].privateEligible()
 	return h, nil
 }
 
@@ -111,12 +117,37 @@ func (h *Hierarchy) L1Stats(core int) Stats { return h.l1[core].Stats(0) }
 // L2Stats returns the private L2 statistics for a core.
 func (h *Hierarchy) L2Stats(core int) Stats { return h.l2[core].Stats(0) }
 
+// CoreStats returns both private-level statistics for a core in one
+// call — the testbed's window sampling reads every core's counters at
+// each window close.
+func (h *Hierarchy) CoreStats(core int) (l1, l2 Stats) {
+	return h.l1[core].stats[0], h.l2[core].stats[0]
+}
+
 // SetMask programs the LLC capacity bitmask for a CLOS.
 func (h *Hierarchy) SetMask(clos int, mask uint64) { h.llc.SetMask(clos, mask) }
 
 // Access performs one access from core (using LLC class of service clos)
 // at byte address addr and returns the level that satisfied it.
 func (h *Hierarchy) Access(core, clos int, addr uint64, write bool) Level {
+	if h.fastPriv {
+		if h.l1[core].accessPrivate(addr, write) {
+			return LevelL1
+		}
+		lvl := LevelMemory
+		switch {
+		case h.l2[core].accessPrivate(addr, write):
+			lvl = LevelL2
+		case h.llc.Access(clos, addr, write):
+			lvl = LevelLLC
+		}
+		if h.cfg.NextLinePrefetch {
+			next := addr + h.prefetchStride
+			h.l2[core].Prefetch(0, next)
+			h.llc.Prefetch(clos, next)
+		}
+		return lvl
+	}
 	if h.l1[core].Access(0, addr, write) {
 		return LevelL1
 	}

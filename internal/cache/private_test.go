@@ -1,0 +1,101 @@
+package cache
+
+import (
+	"testing"
+)
+
+// TestPrivateAccessMatches runs accessPrivate differentially against the
+// generic Access on twin caches fed an adversarial address stream (tag
+// aliasing in the signature byte, capacity eviction churn, read/write
+// mix) and demands identical observable state after every access: hit
+// result, full Stats, valid/signature metadata, tags, recency and
+// occupancy.
+func TestPrivateAccessMatches(t *testing.T) {
+	for _, cfg := range []Config{
+		{Sets: 8, Ways: 4, LineSize: 64},  // L1 geometry
+		{Sets: 32, Ways: 8, LineSize: 64}, // L2 geometry
+		{Sets: 2, Ways: 8, LineSize: 64},  // tiny: heavy aliasing
+	} {
+		fast, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fast.privateEligible() {
+			t.Fatalf("config %+v should be private-eligible", cfg)
+		}
+		// Deterministic adversarial stream: addresses chosen so distinct
+		// tags collide in the 8-bit signature (stride of sets*256 lines
+		// keeps the signature byte constant while the full tag varies).
+		rng := uint64(0x1234567)
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		for i := 0; i < 200000; i++ {
+			r := next()
+			var addr uint64
+			if r&3 == 0 {
+				// Signature-aliasing address: same set, same sig byte,
+				// different tag.
+				set := r >> 2 % uint64(cfg.Sets)
+				k := r >> 11 % 8
+				addr = (k*uint64(cfg.Sets)*256 + set) * uint64(cfg.LineSize)
+			} else {
+				addr = r % (uint64(cfg.Sets*cfg.Ways*cfg.LineSize) * 4)
+			}
+			write := r&7 == 1
+			hf := fast.accessPrivate(addr, write)
+			hs := slow.Access(0, addr, write)
+			if hf != hs {
+				t.Fatalf("cfg %+v access %d (addr %#x write %v): fast hit=%v slow hit=%v", cfg, i, addr, write, hf, hs)
+			}
+		}
+		if fast.Stats(0) != slow.Stats(0) {
+			t.Fatalf("cfg %+v: stats diverged:\nfast %+v\nslow %+v", cfg, fast.Stats(0), slow.Stats(0))
+		}
+		if fast.Occupancy(0) != slow.Occupancy(0) {
+			t.Fatalf("cfg %+v: occupancy %d vs %d", cfg, fast.Occupancy(0), slow.Occupancy(0))
+		}
+		for i := range fast.meta {
+			if fast.meta[i] != slow.meta[i] {
+				t.Fatalf("cfg %+v: meta word %d diverged: %#x vs %#x", cfg, i, fast.meta[i], slow.meta[i])
+			}
+		}
+		for i := range fast.lines {
+			valid := fast.meta[(i/cfg.Ways)*fast.stride+metaValid]&(1<<uint(i%cfg.Ways)) != 0
+			if !valid {
+				continue
+			}
+			if fast.lines[i] != slow.lines[i] {
+				t.Fatalf("cfg %+v line %d: tag/recency diverged", cfg, i)
+			}
+		}
+	}
+}
+
+// TestPrivateEligibility pins the gate: CAT-masked, non-LRU or wide
+// caches must not take the specialised path.
+func TestPrivateEligibility(t *testing.T) {
+	c, _ := New(Config{Sets: 8, Ways: 4, LineSize: 64})
+	if !c.privateEligible() {
+		t.Fatal("default small LRU cache should be eligible")
+	}
+	c.SetMask(0, 0b0011)
+	if c.privateEligible() {
+		t.Fatal("masked CLOS 0 must disable the private path")
+	}
+	wide, _ := New(Config{Sets: 8, Ways: 16, LineSize: 64})
+	if wide.privateEligible() {
+		t.Fatal("16-way cache needs two signature words — not eligible")
+	}
+	plru, _ := New(Config{Sets: 8, Ways: 4, LineSize: 64, Replace: ReplaceBitPLRU})
+	if plru.privateEligible() {
+		t.Fatal("bit-PLRU cache must not take the LRU-specialised path")
+	}
+}

@@ -29,8 +29,8 @@ func PoolSharing(opts Options) (*Report, error) {
 	kernels := []workload.Kernel{workload.Redis(), workload.BFS(), workload.Spkmeans()}
 
 	measure := func(pool bool, timeout float64) ([3]float64, error) {
-		var pooled [3][]float64
-		for rep := 0; rep < reps; rep++ {
+		conds := make([]testbed.Condition, reps)
+		for rep := range conds {
 			cond := testbed.Condition{
 				PoolSharing: pool,
 				SharedWays:  1,
@@ -43,10 +43,16 @@ func PoolSharing(opts Options) (*Report, error) {
 			}
 			cond = cond.Defaults()
 			cond.QueriesPerService = queries
-			res, err := testbed.Run(cond)
-			if err != nil {
-				return [3]float64{}, err
-			}
+			conds[rep] = cond
+		}
+		results, err := testbed.RunBatch(opts.Workers, conds)
+		if err != nil {
+			return [3]float64{}, err
+		}
+		// Pool in rep order: the percentile over the pooled slice must not
+		// depend on worker scheduling.
+		var pooled [3][]float64
+		for _, res := range results {
 			for i := range res.Services {
 				pooled[i] = append(pooled[i], res.Services[i].ResponseTimes()...)
 			}

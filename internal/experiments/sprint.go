@@ -40,17 +40,21 @@ func Sprint(opts Options) (*Report, error) {
 	}
 
 	measure := func(ka, kb workload.Kernel, kind testbed.BoostKind, timeout float64) ([2]float64, error) {
-		var pooled [2][]float64
-		for r := 0; r < reps; r++ {
+		conds := make([]testbed.Condition, reps)
+		for r := range conds {
 			cond := testbed.Pair(ka, kb, 0.9, 0.9, timeout, timeout, opts.Seed+19000+uint64(r)*173)
 			cond.QueriesPerService = queries
 			for i := range cond.Services {
 				cond.Services[i].Boost = kind
 			}
-			res, err := testbed.Run(cond)
-			if err != nil {
-				return [2]float64{}, err
-			}
+			conds[r] = cond
+		}
+		results, err := testbed.RunBatch(opts.Workers, conds)
+		if err != nil {
+			return [2]float64{}, err
+		}
+		var pooled [2][]float64
+		for _, res := range results {
 			for i := 0; i < 2; i++ {
 				pooled[i] = append(pooled[i], res.Services[i].ResponseTimes()...)
 			}

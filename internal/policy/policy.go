@@ -85,16 +85,26 @@ func Evaluate(ctx PairContext, d Decision) (*testbed.RunResult, error) {
 // noisy to rank policies.
 const evalReps = 4
 
-// measureP95 pools response times over evalReps independent runs and
-// returns the per-service 95th percentiles.
+// measureP95 pools response times over evalReps independent runs (fanned
+// out across the par pool; seeds are fixed per rep before dispatch, so
+// the pooled percentile is worker-count-independent) and returns the
+// per-service 95th percentiles.
 func measureP95(ctx PairContext, d Decision) ([2]float64, error) {
-	var pooled [2][]float64
-	for rep := 0; rep < evalReps; rep++ {
-		cond := ctx.condition(d.TimeoutA, d.TimeoutB, ctx.LoadA, ctx.LoadB,
+	conds := make([]testbed.Condition, evalReps)
+	for rep := range conds {
+		conds[rep] = ctx.condition(d.TimeoutA, d.TimeoutB, ctx.LoadA, ctx.LoadB,
 			ctx.QueriesPerService, 900001+uint64(rep)*131)
-		run, err := testbed.Run(cond)
-		if err != nil {
-			return [2]float64{}, err
+	}
+	runs, err := testbed.RunBatch(0, conds)
+	if err != nil {
+		return [2]float64{}, err
+	}
+	var pooled [2][]float64
+	for rep, run := range runs {
+		// Truncated runs censor exactly the slow tail that p95 ranks
+		// policies by — pooling them would silently flatter bad timeouts.
+		if err := run.RequireComplete(); err != nil {
+			return [2]float64{}, fmt.Errorf("policy: evaluation rep %d: %w", rep, err)
 		}
 		for i := 0; i < 2; i++ {
 			pooled[i] = append(pooled[i], run.Services[i].ResponseTimes()...)
@@ -201,22 +211,28 @@ func DynaSprint(ctx PairContext) (Decision, error) {
 	probeQ := ctx.QueriesPerService / 3
 	grid := TimeoutGrid()
 
-	best := Decision{Name: "dynaSprint"}
-	bestScore := math.Inf(1)
+	// Probe the whole grid across the par pool; the winner is selected by
+	// scanning scores in grid order, so ties resolve to the same cell at
+	// any worker count.
+	conds := make([]testbed.Condition, 0, len(grid)*len(grid))
 	for i, tA := range grid {
 		for j, tB := range grid {
-			cond := ctx.condition(tA, tB, probeLoad, probeLoad, probeQ, uint64(31+i*len(grid)+j))
-			run, err := testbed.Run(cond)
-			if err != nil {
-				return Decision{}, err
-			}
-			// Low-load objective: mean response, normalised per service.
-			score := run.Services[0].MeanResponse()/run.Services[0].ExpServiceTime +
-				run.Services[1].MeanResponse()/run.Services[1].ExpServiceTime
-			if score < bestScore {
-				bestScore = score
-				best.TimeoutA, best.TimeoutB = tA, tB
-			}
+			conds = append(conds, ctx.condition(tA, tB, probeLoad, probeLoad, probeQ, uint64(31+i*len(grid)+j)))
+		}
+	}
+	runs, err := testbed.RunBatch(0, conds)
+	if err != nil {
+		return Decision{}, err
+	}
+	best := Decision{Name: "dynaSprint"}
+	bestScore := math.Inf(1)
+	for k, run := range runs {
+		// Low-load objective: mean response, normalised per service.
+		score := run.Services[0].MeanResponse()/run.Services[0].ExpServiceTime +
+			run.Services[1].MeanResponse()/run.Services[1].ExpServiceTime
+		if score < bestScore {
+			bestScore = score
+			best.TimeoutA, best.TimeoutB = grid[k/len(grid)], grid[k%len(grid)]
 		}
 	}
 	return best, nil

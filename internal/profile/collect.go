@@ -68,6 +68,11 @@ func Collect(opts CollectOptions, points []Point) (Dataset, error) {
 		if err != nil {
 			return fmt.Errorf("profile: point %d: %w", i, err)
 		}
+		// A truncated run yields systematically censored tail latencies;
+		// training on it would silently bias the model, so fail loudly.
+		if err := run.RequireComplete(); err != nil {
+			return fmt.Errorf("profile: point %d: %w", i, err)
+		}
 		var rows []Row
 		for svcIdx := range run.Services {
 			svcRows, err := BuildRows(opts.Schema, run, svcIdx)

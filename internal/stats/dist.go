@@ -107,6 +107,13 @@ func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
 type Zipf struct {
 	n   int
 	cdf []float64
+	// guide[k] is the smallest index i with cdf[i] >= k/n: a guide table
+	// (Chen & Asau) turning each draw into an O(1) expected lookup plus a
+	// short linear scan, instead of a log2(n)-probe binary search. The
+	// result is a pure function of u and the CDF — the selected rank is
+	// identical to what the binary search returned, so replacing the
+	// search does not perturb any downstream random stream.
+	guide []int32
 }
 
 // NewZipf precomputes the CDF for an N-element Zipf distribution with
@@ -115,7 +122,7 @@ func NewZipf(n int, s float64) *Zipf {
 	if n <= 0 {
 		panic("stats: Zipf needs n > 0")
 	}
-	z := &Zipf{n: n, cdf: make([]float64, n)}
+	z := &Zipf{n: n, cdf: make([]float64, n), guide: make([]int32, n)}
 	sum := 0.0
 	for i := 0; i < n; i++ {
 		sum += 1 / math.Pow(float64(i+1), s)
@@ -125,23 +132,37 @@ func NewZipf(n int, s float64) *Zipf {
 	for i := range z.cdf {
 		z.cdf[i] *= inv
 	}
+	i := 0
+	for k := 0; k < n; k++ {
+		t := float64(k) / float64(n)
+		for i < n-1 && z.cdf[i] < t {
+			i++
+		}
+		z.guide[k] = int32(i)
+	}
 	return z
 }
 
 // N returns the support size.
 func (z *Zipf) N() int { return z.n }
 
-// Sample draws a rank in [0, N) by binary search on the CDF.
+// Sample draws a rank in [0, N): the smallest index whose CDF value
+// reaches the uniform draw (capped at n-1), located via the guide table.
 func (z *Zipf) Sample(r *RNG) int {
 	u := r.Float64()
-	lo, hi := 0, z.n-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if z.cdf[mid] < u {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	k := int(u * float64(z.n))
+	if k >= z.n {
+		k = z.n - 1
 	}
-	return lo
+	i := int(z.guide[k])
+	for i < z.n-1 && z.cdf[i] < u {
+		i++
+	}
+	// int(u*n) can round up past floor(u*n), making the guide entry
+	// overshoot by one bucket; walk back to the minimal index so the
+	// result matches the old binary search bit for bit.
+	for i > 0 && z.cdf[i-1] >= u {
+		i--
+	}
+	return i
 }

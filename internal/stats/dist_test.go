@@ -126,3 +126,54 @@ func TestZipfUniformWhenSZero(t *testing.T) {
 		}
 	}
 }
+
+// TestZipfGuideMatchesBinarySearch pins the guide-table sampler to the
+// binary search it replaced: for every draw the selected rank must be
+// the smallest index whose CDF value reaches u (capped at n-1), so
+// swapping the search cannot move a single downstream random bit.
+func TestZipfGuideMatchesBinarySearch(t *testing.T) {
+	ref := func(z *Zipf, u float64) int {
+		lo, hi := 0, z.n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if z.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{1, 0}, {2, 1}, {10, 0}, {100, 0.5}, {1000, 0.99}, {4096, 1.3}, {777, 2.5}} {
+		z := NewZipf(tc.n, tc.s)
+		rDraw := NewRNG(42)
+		rRef := NewRNG(42)
+		for i := 0; i < 20000; i++ {
+			got := z.Sample(rDraw)
+			u := rRef.Float64()
+			if want := ref(z, u); got != want {
+				t.Fatalf("n=%d s=%v draw %d (u=%v): guide %d, binary search %d", tc.n, tc.s, i, u, got, want)
+			}
+		}
+		// Boundary values exercise the round-up correction directly.
+		for _, u := range []float64{0, 1e-300, z.cdf[0], z.cdf[tc.n-1], z.cdf[tc.n/2], 0.999999999999} {
+			k := int(u * float64(z.n))
+			if k >= z.n {
+				k = z.n - 1
+			}
+			i := int(z.guide[k])
+			for i < z.n-1 && z.cdf[i] < u {
+				i++
+			}
+			for i > 0 && z.cdf[i-1] >= u {
+				i--
+			}
+			if want := ref(z, u); i != want {
+				t.Fatalf("n=%d s=%v u=%v: guide walk %d, binary search %d", tc.n, tc.s, u, i, want)
+			}
+		}
+	}
+}

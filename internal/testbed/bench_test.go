@@ -18,12 +18,35 @@ func BenchmarkRunPair(b *testing.B) {
 	}
 }
 
+// BenchmarkMachineRun measures the machine loop alone: the hierarchy and
+// calibration are rebuilt per iteration inside NewMachine, but the
+// condition mixes a boosting cache-heavy pair so the per-quantum
+// dispatch/boost/pressure/sample machinery and the access hot path all
+// stay exercised. This is the ≥2× target of the event-calendar rewrite.
+func BenchmarkMachineRun(b *testing.B) {
+	cond := Pair(workload.Redis(), workload.BFS(), 0.8, 0.8, 1, 1, 5)
+	cond.QueriesPerService = 100
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := NewMachine(cond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCalibrate(b *testing.B) {
 	proc := XeonE5_2683()
 	k := workload.Redis()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		CalibrateServiceTime(proc, k, calSetting(), 1<<32, uint64(i))
+		if _, err := CalibrateServiceTime(proc, k, calSetting(), 1<<32, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"stac/internal/cache"
 	"stac/internal/cat"
 	"stac/internal/counters"
 	"stac/internal/obs"
+	"stac/internal/par"
 	"stac/internal/stats"
 	"stac/internal/workload"
 )
@@ -43,7 +45,7 @@ type service struct {
 	patterns []workload.Pattern // one per core: process state persists
 	rng      *stats.RNG
 
-	queue   []workload.Query
+	queue   queryRing
 	running []*exec // parallel to cores; nil = idle core
 	boosted bool
 
@@ -64,7 +66,6 @@ type service struct {
 
 	completed   int
 	measured    []QueryResult
-	execOf      []*exec // pending counter attribution per measured query
 	windowTrace counters.Trace
 	queueDepths []float64
 
@@ -74,6 +75,45 @@ type service struct {
 	lastMissCount uint64
 	missRate      float64
 	pressure      float64
+
+	// tab caches the per-level {cycle cost, wall time, stall} triples for
+	// the current (frequency, pressure) epoch — see costTab.
+	tab costTab
+}
+
+// costTab precomputes, for one (sprint frequency, bandwidth pressure)
+// epoch, the per-access quantities runExec derives per cache level. The
+// three per-level values are pure functions of (freq, pressure), so
+// evaluating them once per epoch instead of per access produces
+// bit-identical sums: the entries are computed with exactly the
+// expressions the per-access path used.
+type costTab struct {
+	valid    bool
+	freq     float64
+	pressure float64
+	cost     [cache.LevelMemory + 1]float64 // core cycles charged per access
+	dt       [cache.LevelMemory + 1]float64 // wall-clock seconds per access
+	stall    [cache.LevelMemory + 1]float64 // stall cycles per access
+}
+
+// rebuild fills the table for the given epoch, mirroring the original
+// per-access expression order exactly (same operations, same order —
+// same bits).
+func (t *costTab) rebuild(proc Processor, k workload.Kernel, freq, pressure float64) {
+	lat := proc.Lat
+	cps := proc.CyclesPerSecond
+	for lvl := cache.LevelL1; lvl <= cache.LevelMemory; lvl++ {
+		levelCost := lat.Cost(lvl)
+		if lvl == cache.LevelMemory {
+			levelCost *= 1 + pressure
+			levelCost *= freq // constant seconds: cycles inflate with clock
+		}
+		cost := (k.ComputePerAccess + levelCost) / freq
+		t.cost[lvl] = cost
+		t.dt[lvl] = cost / cps
+		t.stall[lvl] = levelCost - lat.L1Hit
+	}
+	t.valid, t.freq, t.pressure = true, freq, pressure
 }
 
 // Machine executes conditions. Construct with NewMachine or use the Run
@@ -83,6 +123,59 @@ type Machine struct {
 	h    *cache.Hierarchy
 	svcs []*service
 	rng  *stats.RNG
+
+	// windowStart is the simulated time at which the current counter
+	// window opened. Samples fire on quantum boundaries, so real window
+	// spans differ from cond.SamplePeriod; bandwidth-style rates divide
+	// by the real span, not the nominal period.
+	windowStart float64
+	windowSpans []float64
+
+	// Event-calendar state: busyExecs counts in-flight executions across
+	// all services and doneSvcs counts services that reached their query
+	// budget, so the loop's completion check and idle detection are O(1)
+	// instead of a scan per quantum.
+	busyExecs int
+	doneSvcs  int
+
+	// scratch recycles exec nodes (and their per-window trace backings)
+	// across dispatches and, via scratchPool, across runs.
+	scratch *runScratch
+}
+
+// runScratch holds reusable per-run allocation scratch. Pooled
+// process-wide: a machine takes one on construction and donates it back
+// when its run completes. Only memory is recycled — no simulation state
+// crosses runs through the pool.
+type runScratch struct {
+	free []*exec
+}
+
+var scratchPool = sync.Pool{New: func() any { return &runScratch{} }}
+
+// newExec returns a zeroed exec node, reusing a retired node's storage
+// (including its trace backing array) when one is available.
+func (m *Machine) newExec() *exec {
+	sc := m.scratch
+	if n := len(sc.free); n > 0 {
+		e := sc.free[n-1]
+		sc.free[n-1] = nil
+		sc.free = sc.free[:n-1]
+		trace := e.trace[:0]
+		*e = exec{trace: trace}
+		return e
+	}
+	return &exec{}
+}
+
+// retireExec recycles a finalised execution's node. Measured traces were
+// donated to the result and must not be reused; warmup/overflow traces
+// keep their backing.
+func (m *Machine) retireExec(e *exec) {
+	if e.measuredIdx >= 0 {
+		e.trace = nil
+	}
+	m.scratch.free = append(m.scratch.free, e)
 }
 
 // Hierarchy exposes the machine's simulated cache hierarchy so callers
@@ -97,6 +190,28 @@ func Run(cond Condition) (*RunResult, error) {
 		return nil, err
 	}
 	return m.Run()
+}
+
+// RunBatch executes independent conditions on up to workers goroutines
+// (workers <= 0 uses GOMAXPROCS) and returns results in condition order.
+// Each condition carries its own Seed, so every machine's RNG streams
+// are fixed before dispatch and results are bit-identical regardless of
+// worker count or scheduling — the property TestRunBitIdentical pins.
+// The first error cancels remaining runs and is returned.
+func RunBatch(workers int, conds []Condition) ([]*RunResult, error) {
+	out := make([]*RunResult, len(conds))
+	err := par.ForEach(workers, len(conds), func(i int) error {
+		res, err := Run(conds[i])
+		if err != nil {
+			return fmt.Errorf("testbed: condition %d: %w", i, err)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // NewMachine validates the condition, calibrates per-service expected
@@ -114,11 +229,14 @@ func NewMachine(cond Condition) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{cond: cond, h: h, rng: stats.NewRNG(cond.Seed)}
+	m := &Machine{cond: cond, h: h, rng: stats.NewRNG(cond.Seed), scratch: scratchPool.Get().(*runScratch)}
 	for i, spec := range cond.Services {
 		pol := masks[i]
 		base := uint64(i+1) << 32
-		exp := CalibrateServiceTime(cond.Processor, spec.Kernel, pol.Default, base, cond.Seed+uint64(i)*7919)
+		exp, err := CalibrateServiceTime(cond.Processor, spec.Kernel, pol.Default, base, cond.Seed+uint64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
 		if exp <= 0 {
 			return nil, fmt.Errorf("testbed: calibration of %s produced %v", spec.Kernel.Name, exp)
 		}
@@ -184,14 +302,51 @@ func maskRatio(p cat.MaskPolicy) float64 {
 	return float64(bits.OnesCount64(p.Boost)) / float64(d)
 }
 
+// calKey fingerprints a calibration: the processor (comparable struct),
+// the kernel's observable identity — name alone is not enough because
+// KernelFromTrace can mint kernels with arbitrary names — and the exact
+// allocation/addressing/seed inputs. Calibration is a pure function of
+// these, so results are memoised process-wide: policy searches and
+// repeated profiling runs re-derive the same expected service times for
+// every condition they spawn, and the closed calibration loop is ~30 %
+// of a cold machine construction.
+type calKey struct {
+	proc       Processor
+	kernel     string
+	desc       string
+	pattern    string
+	workingSet uint64
+	cpa        float64
+	demandMean float64
+	mask       uint64
+	base       uint64
+	seed       uint64
+}
+
+var calCache sync.Map // calKey -> float64
+
 // CalibrateServiceTime measures the kernel's mean solo service time under
 // its default allocation: a closed loop of queries on a single core with
 // no collocated contention. This is the "expected service time" that
-// normalises timeouts (Equation 4) and arrival rates.
-func CalibrateServiceTime(proc Processor, k workload.Kernel, allocMask uint64, base uint64, seed uint64) float64 {
+// normalises timeouts (Equation 4) and arrival rates. Hierarchy
+// construction failures surface as errors rather than panics so callers
+// probing unusual processor geometries can recover. Results are
+// memoised on the full input fingerprint; a duplicate concurrent
+// computation is harmless because calibration is deterministic.
+func CalibrateServiceTime(proc Processor, k workload.Kernel, allocMask uint64, base uint64, seed uint64) (float64, error) {
+	key := calKey{
+		proc: proc, kernel: k.Name, desc: k.Description, pattern: k.CachePattern,
+		workingSet: k.WorkingSet, cpa: k.ComputePerAccess, demandMean: k.Demand.Mean(),
+		mask: allocMask, base: base, seed: seed,
+	}
+	if v, ok := calCache.Load(key); ok {
+		obs.C("testbed/calibration_cache_hits").Inc()
+		return v.(float64), nil
+	}
+	obs.C("testbed/calibrations").Inc()
 	h, err := cache.NewHierarchy(proc.HierarchyConfig())
 	if err != nil {
-		panic(fmt.Sprintf("testbed: calibration hierarchy: %v", err))
+		return 0, fmt.Errorf("testbed: calibration hierarchy: %w", err)
 	}
 	h.SetMask(0, allocMask)
 	r := stats.NewRNG(seed)
@@ -213,12 +368,27 @@ func CalibrateServiceTime(proc Processor, k workload.Kernel, allocMask uint64, b
 			total += t
 		}
 	}
-	return total / measured
+	exp := total / measured
+	calCache.Store(key, exp)
+	return exp, nil
 }
 
 // Run executes the condition until every service completes its measured
 // query budget (or a generous simulated-time guard trips) and returns the
 // results.
+//
+// The loop is organised around a small event calendar: the machine
+// tracks in-flight executions (busyExecs), finished services (doneSvcs)
+// and each source's next arrival epoch. While work is in flight it
+// advances quantum by quantum exactly as before; when the machine goes
+// fully idle it fast-forwards to the next arrival with the cheap path
+// in idleQuantum, which performs only the per-quantum state evolution
+// that is non-trivial on an idle machine (pressure EWMA decay and
+// window sampling) and skips the admit/dispatch/boost/run/reap sweeps
+// that provably cannot change state. Every quantum still elapses
+// individually — `now` accumulates the same additions and the EWMA the
+// same multiplies — so results are bit-identical to the plain sweep
+// (TestGoldenRunTraces).
 func (m *Machine) Run() (*RunResult, error) {
 	cond := m.cond
 	target := cond.QueriesPerService + cond.WarmupQueries
@@ -234,21 +404,44 @@ func (m *Machine) Run() (*RunResult, error) {
 	quantum := minExp / 64
 	const nSub = 2
 
-	maxSim := 40 * float64(target) / minRate
+	maxSim := maxSimFactor * float64(target) / minRate
 	now := 0.0
 	nextSample := cond.SamplePeriod
 	rot := 0
+	nSvcs := len(m.svcs)
 
-	for now < maxSim {
-		allDone := true
-		for _, s := range m.svcs {
-			if s.completed < target {
-				allDone = false
+	for now < maxSim && m.doneSvcs < nSvcs {
+		// Idle fast-forward: nothing in flight, no boost pending release
+		// and no arrival due — step the calendar to the next arrival.
+		if m.busyExecs == 0 {
+			idle := true
+			nextArr := math.Inf(1)
+			for _, s := range m.svcs {
+				if s.boosted || s.queue.len() != 0 {
+					idle = false
+					break
+				}
+				if a := s.source.Peek().Arrival; a < nextArr {
+					nextArr = a
+				}
+			}
+			for idle && nextArr > now && now < maxSim {
+				m.updatePressure(quantum)
+				rot++
+				now += quantum
+				if now >= nextSample {
+					span := now - m.windowStart
+					for _, s := range m.svcs {
+						m.sample(s, span)
+					}
+					m.windowStart = now
+					m.windowSpans = append(m.windowSpans, span)
+					nextSample += cond.SamplePeriod
+				}
+			}
+			if now >= maxSim {
 				break
 			}
-		}
-		if allDone {
-			break
 		}
 
 		for _, s := range m.svcs {
@@ -262,8 +455,12 @@ func (m *Machine) Run() (*RunResult, error) {
 		// service systematically wins LLC races.
 		for sub := 1; sub <= nSub; sub++ {
 			sliceEnd := now + quantum*float64(sub)/nSub
-			for off := 0; off < len(m.svcs); off++ {
-				s := m.svcs[(off+rot)%len(m.svcs)]
+			idx := rot % nSvcs
+			for off := 0; off < nSvcs; off++ {
+				s := m.svcs[idx]
+				if idx++; idx == nSvcs {
+					idx = 0
+				}
 				for _, e := range s.running {
 					if e != nil && !e.done {
 						m.runExec(s, e, sliceEnd)
@@ -279,18 +476,37 @@ func (m *Machine) Run() (*RunResult, error) {
 
 		now += quantum
 		if now >= nextSample {
+			span := now - m.windowStart
 			for _, s := range m.svcs {
-				m.sample(s)
+				m.sample(s, span)
 			}
+			m.windowStart = now
+			m.windowSpans = append(m.windowSpans, span)
 			nextSample += cond.SamplePeriod
 		}
 	}
+	allDone := m.doneSvcs == nSvcs
 	// Final flush so completed queries get their counter attribution.
-	for _, s := range m.svcs {
-		m.sample(s)
+	// When the loop just sampled (span zero) no counters have accrued:
+	// appending another window would duplicate the last queue-depth entry
+	// and record a meaningless all-zero delta, so only the pending
+	// measured-query attribution is finalised.
+	if span := now - m.windowStart; span > 0 {
+		for _, s := range m.svcs {
+			m.sample(s, span)
+		}
+		m.windowStart = now
+		m.windowSpans = append(m.windowSpans, span)
+	} else {
+		for _, s := range m.svcs {
+			m.finalizeWindow(s)
+		}
 	}
 
-	res := &RunResult{Condition: cond, SimTime: now}
+	if !allDone {
+		obs.C("testbed/truncated_runs").Inc()
+	}
+	res := &RunResult{Condition: cond, SimTime: now, Truncated: !allDone}
 	for _, s := range m.svcs {
 		res.Services = append(res.Services, ServiceResult{
 			Name:           s.name,
@@ -298,13 +514,25 @@ func (m *Machine) Run() (*RunResult, error) {
 			ExpServiceTime: s.expService,
 			Queries:        s.measured,
 			WindowTrace:    s.windowTrace,
+			WindowSpans:    append([]float64(nil), m.windowSpans...),
 			QueueDepths:    s.queueDepths,
 			BoostRatio:     s.boostRatio,
 		})
 	}
 	m.publishMetrics(now)
+	// Donate the allocation scratch back to the pool. The machine is
+	// single-shot; dropping the reference makes accidental reuse fail
+	// fast instead of corrupting a concurrent run.
+	scratchPool.Put(m.scratch)
+	m.scratch = nil
 	return res, nil
 }
+
+// maxSimFactor scales the simulated-time guard in Run: the loop aborts
+// (marking the result Truncated) once now exceeds maxSimFactor × the
+// time an unloaded machine would need for the query budget. Package
+// variable so tests can force truncation without hour-long conditions.
+var maxSimFactor = 40.0
 
 // publishMetrics folds the finished run's cache accounting and query
 // outcomes into the process-wide obs registry. Publication happens once
@@ -363,29 +591,28 @@ func publishLevel(prefix string, s cache.Stats) {
 // admit moves arrived queries from the source into the proxy queue.
 func (m *Machine) admit(s *service, now float64) {
 	for s.source.Peek().Arrival <= now {
-		s.queue = append(s.queue, s.source.Pop())
+		s.queue.push(s.source.Pop())
 	}
 }
 
 // dispatch starts queued queries on idle cores.
 func (m *Machine) dispatch(s *service, now float64) {
 	for ci, e := range s.running {
-		if e != nil || len(s.queue) == 0 {
+		if e != nil || s.queue.len() == 0 {
 			continue
 		}
-		q := s.queue[0]
-		s.queue = s.queue[1:]
-		ne := &exec{
-			query:       q,
-			remaining:   q.Accesses,
-			core:        s.cores[ci],
-			coreIdx:     ci,
-			start:       now,
-			clock:       now,
-			measuredIdx: -1,
-		}
+		q := s.queue.pop()
+		ne := m.newExec()
+		ne.query = q
+		ne.remaining = q.Accesses
+		ne.core = s.cores[ci]
+		ne.coreIdx = ci
+		ne.start = now
+		ne.clock = now
+		ne.measuredIdx = -1
 		s.running[ci] = ne
 		s.windowExecs = append(s.windowExecs, ne)
+		m.busyExecs++
 	}
 }
 
@@ -428,8 +655,9 @@ func (m *Machine) updatePressure(quantum float64) {
 		return
 	}
 	const ewma = 0.2
+	llc := m.h.LLC()
 	for _, s := range m.svcs {
-		cur := m.h.LLC().Stats(s.clos).Misses
+		cur := llc.Misses(s.clos)
 		rate := float64(cur-s.lastMissCount) / quantum
 		s.lastMissCount = cur
 		s.missRate = (1-ewma)*s.missRate + ewma*rate
@@ -450,11 +678,10 @@ func (m *Machine) updatePressure(quantum float64) {
 }
 
 // runExec advances one execution until its core-local clock reaches the
-// slice end or the query completes.
+// slice end or the query completes. Per-level costs come from the
+// service's epoch table; the per-access work is one pattern step, one
+// hierarchy access and five additions.
 func (m *Machine) runExec(s *service, e *exec, until float64) {
-	lat := m.cond.Processor.Lat
-	cps := m.cond.Processor.CyclesPerSecond
-	k := s.spec.Kernel
 	pat := s.patterns[e.coreIdx]
 	// Frequency sprinting shrinks core-clocked work (compute and cache
 	// hits) while boosted; memory time is clock-independent.
@@ -462,41 +689,51 @@ func (m *Machine) runExec(s *service, e *exec, until float64) {
 	if s.boosted && (s.spec.Boost == BoostFrequency || s.spec.Boost == BoostBoth) {
 		freq = m.cond.SprintFactor
 	}
-	for e.clock < until && e.remaining > 0 {
-		a := pat.Next(s.rng)
-		lvl := m.h.Access(e.core, s.clos, a.Addr, a.Write)
-		levelCost := lat.Cost(lvl)
-		if lvl == cache.LevelMemory {
-			levelCost *= 1 + s.pressure
-			levelCost *= freq // constant seconds: cycles inflate with clock
-		}
-		cost := (k.ComputePerAccess + levelCost) / freq
-		dt := cost / cps
-		e.clock += dt
-		e.windowBusy += dt
-		s.busyCycles += cost
-		s.stallCycles += levelCost - lat.L1Hit
-		s.instr += 1 + k.ComputePerAccess
-		e.remaining--
+	if !s.tab.valid || s.tab.freq != freq || s.tab.pressure != s.pressure {
+		s.tab.rebuild(m.cond.Processor, s.spec.Kernel, freq, s.pressure)
 	}
+	tab := &s.tab
+	instrInc := 1 + s.spec.Kernel.ComputePerAccess
+	rng := s.rng
+	h := m.h
+	clock, busy := e.clock, e.windowBusy
+	busyCyc, stallCyc, instr := s.busyCycles, s.stallCycles, s.instr
+	rem := e.remaining
+	for clock < until && rem > 0 {
+		a := pat.Next(rng)
+		lvl := h.Access(e.core, s.clos, a.Addr, a.Write)
+		dt := tab.dt[lvl]
+		clock += dt
+		busy += dt
+		busyCyc += tab.cost[lvl]
+		stallCyc += tab.stall[lvl]
+		instr += instrInc
+		rem--
+	}
+	e.clock, e.windowBusy, e.remaining = clock, busy, rem
+	s.busyCycles, s.stallCycles, s.instr = busyCyc, stallCyc, instr
 	if s.boosted {
 		e.boosted = true
 	}
-	if e.remaining == 0 {
+	if rem == 0 {
 		e.done = true
 	}
 }
 
 // reap records completed executions and frees their cores.
 func (m *Machine) reap(s *service) {
-	cond := m.cond
+	warmup, measure := m.cond.WarmupQueries, m.cond.QueriesPerService
 	for ci, e := range s.running {
 		if e == nil || !e.done {
 			continue
 		}
 		s.running[ci] = nil
 		s.completed++
-		if s.completed > cond.WarmupQueries && len(s.measured) < cond.QueriesPerService {
+		m.busyExecs--
+		if s.completed == warmup+measure {
+			m.doneSvcs++
+		}
+		if s.completed > warmup && len(s.measured) < measure {
 			e.measuredIdx = len(s.measured)
 			s.measured = append(s.measured, QueryResult{
 				Arrival:    e.query.Arrival,
@@ -504,7 +741,6 @@ func (m *Machine) reap(s *service) {
 				Completion: e.clock,
 				Boosted:    e.boosted,
 			})
-			s.execOf = append(s.execOf, e)
 		}
 		// Completed execs stay in windowExecs until the next sample so
 		// their final window share is attributed.
@@ -515,8 +751,7 @@ func (m *Machine) reap(s *service) {
 func (m *Machine) snapshot(s *service) counters.Sample {
 	var out counters.Sample
 	for _, core := range s.cores {
-		l1 := m.h.L1Stats(core)
-		l2 := m.h.L2Stats(core)
+		l1, l2 := m.h.CoreStats(core)
 		out[counters.L1DLoads] += float64(l1.Loads)
 		out[counters.L1DLoadMisses] += float64(l1.LoadMisses)
 		out[counters.L1DStores] += float64(l1.Stores)
@@ -550,10 +785,14 @@ func (m *Machine) snapshot(s *service) counters.Sample {
 	return out
 }
 
-// sample closes a counter window: compute the service-level delta,
-// derive instantaneous counters, attribute shares to the executions that
-// ran during the window and finalise measured queries that completed.
-func (m *Machine) sample(s *service) {
+// sample closes a counter window spanning `span` simulated seconds:
+// compute the service-level delta, derive instantaneous counters,
+// attribute shares to the executions that ran during the window and
+// finalise measured queries that completed. Windows close on quantum
+// boundaries, so span is the real elapsed time since the previous
+// sample — generally a little over cond.SamplePeriod, and a whole
+// quantum when the quantum exceeds the sampling period.
+func (m *Machine) sample(s *service, span float64) {
 	snap := m.snapshot(s)
 	var delta counters.Sample
 	for i := range delta {
@@ -564,12 +803,12 @@ func (m *Machine) sample(s *service) {
 	if delta[counters.Cycles] > 0 {
 		delta[counters.IPC] = delta[counters.Instructions] / delta[counters.Cycles]
 	}
-	delta[counters.MemBandwidth] = (delta[counters.MemReads] + delta[counters.MemWrites]) * LineSize / m.cond.SamplePeriod
+	delta[counters.MemBandwidth] = (delta[counters.MemReads] + delta[counters.MemWrites]) * LineSize / span
 	delta[counters.LLCOccupancy] = float64(m.h.LLC().Occupancy(s.clos))
-	delta[counters.QueueDepth] = float64(len(s.queue))
+	delta[counters.QueueDepth] = float64(s.queue.len())
 
 	s.windowTrace = append(s.windowTrace, delta)
-	s.queueDepths = append(s.queueDepths, float64(len(s.queue)))
+	s.queueDepths = append(s.queueDepths, float64(s.queue.len()))
 
 	var totalBusy float64
 	for _, e := range s.windowExecs {
@@ -582,10 +821,7 @@ func (m *Machine) sample(s *service) {
 		}
 		e.windowBusy = 0
 		if e.done {
-			if e.measuredIdx >= 0 {
-				s.measured[e.measuredIdx].Counters = e.trace.Aggregate()
-				s.measured[e.measuredIdx].Trace = e.trace
-			}
+			m.finalizeExec(s, e)
 			continue
 		}
 		keep = append(keep, e)
@@ -594,4 +830,31 @@ func (m *Machine) sample(s *service) {
 		s.windowExecs[i] = nil
 	}
 	s.windowExecs = keep
+}
+
+// finalizeWindow completes pending measured-query attribution without
+// opening a counter window: used by the final flush when the run ended
+// exactly on a sample boundary and a zero-span window would otherwise
+// be appended. Any execution still listed is done (the loop only exits
+// with idle cores), already carries its full per-window trace, and just
+// needs its aggregate published into s.measured.
+func (m *Machine) finalizeWindow(s *service) {
+	for i, e := range s.windowExecs {
+		if e.done {
+			m.finalizeExec(s, e)
+		}
+		s.windowExecs[i] = nil
+	}
+	s.windowExecs = s.windowExecs[:0]
+}
+
+// finalizeExec publishes a completed execution's attributed counter
+// trace into its measured-query slot, if it has one, then recycles the
+// node.
+func (m *Machine) finalizeExec(s *service, e *exec) {
+	if e.measuredIdx >= 0 {
+		s.measured[e.measuredIdx].Counters = e.trace.Aggregate()
+		s.measured[e.measuredIdx].Trace = e.trace
+	}
+	m.retireExec(e)
 }

@@ -11,8 +11,14 @@ import (
 func TestCalibrateServiceTimePositiveAndStable(t *testing.T) {
 	proc := XeonE5_2683()
 	for _, k := range workload.All() {
-		a := CalibrateServiceTime(proc, k, calSetting(), 1<<32, 7)
-		b := CalibrateServiceTime(proc, k, calSetting(), 1<<32, 7)
+		a, err := CalibrateServiceTime(proc, k, calSetting(), 1<<32, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CalibrateServiceTime(proc, k, calSetting(), 1<<32, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if a <= 0 {
 			t.Fatalf("%s: non-positive calibrated service time", k.Name)
 		}
@@ -25,8 +31,14 @@ func TestCalibrateServiceTimePositiveAndStable(t *testing.T) {
 func TestCalibrationMoreWaysFaster(t *testing.T) {
 	proc := XeonE5_2683()
 	bfs := workload.BFS()
-	small := CalibrateServiceTime(proc, bfs, cat.Setting{Offset: 0, Length: 1}.Mask(), 1<<32, 3)
-	large := CalibrateServiceTime(proc, bfs, cat.Setting{Offset: 0, Length: 8}.Mask(), 1<<32, 3)
+	small, err := CalibrateServiceTime(proc, bfs, cat.Setting{Offset: 0, Length: 1}.Mask(), 1<<32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := CalibrateServiceTime(proc, bfs, cat.Setting{Offset: 0, Length: 8}.Mask(), 1<<32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if large >= small {
 		t.Fatalf("more ways should not slow BFS down: 1-way %v vs 8-way %v", small, large)
 	}

@@ -1,0 +1,62 @@
+package testbed
+
+import "stac/internal/workload"
+
+// queryRing is the per-service proxy queue: a power-of-two circular
+// buffer of arrived-but-undispatched queries. The previous
+// implementation popped with `queue = queue[1:]`, which kept every
+// consumed query alive in the backing array's dead prefix for the whole
+// run and re-grew the array on every refill cycle; the ring reuses its
+// storage, so steady-state runs allocate nothing and capacity stays
+// proportional to the deepest backlog ever observed (asserted by
+// TestQueueRingNoRetention).
+type queryRing struct {
+	buf  []workload.Query
+	head int
+	tail int // one past the newest element; len = tail-head (mod len(buf))
+	n    int
+}
+
+// push appends a query at the tail, growing the buffer when full.
+func (r *queryRing) push(q workload.Query) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail] = q
+	r.tail = (r.tail + 1) & (len(r.buf) - 1)
+	r.n++
+}
+
+// pop removes and returns the oldest query. Callers check len() first.
+func (r *queryRing) pop() workload.Query {
+	q := r.buf[r.head]
+	r.buf[r.head] = workload.Query{} // release for reuse; no liveness past pop
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return q
+}
+
+// len returns the number of queued queries.
+func (r *queryRing) len() int { return r.n }
+
+// cap returns the current backing capacity (test seam for the
+// no-retention assertion).
+func (r *queryRing) capacity() int { return len(r.buf) }
+
+// reset empties the ring, keeping the backing array for reuse.
+func (r *queryRing) reset() {
+	for i := range r.buf {
+		r.buf[i] = workload.Query{}
+	}
+	r.head, r.tail, r.n = 0, 0, 0
+}
+
+// grow doubles the buffer (minimum 8) and relinearises the contents.
+func (r *queryRing) grow() {
+	nb := make([]workload.Query, max(8, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head, r.tail = 0, r.n
+}

@@ -1,0 +1,204 @@
+package testbed
+
+import (
+	"testing"
+
+	"stac/internal/counters"
+	"stac/internal/workload"
+)
+
+// TestWindowSpansRealDivisor pins the window-accounting fix: windows
+// close on quantum boundaries, so with a sampling period far below the
+// quantum every quantum closes a window whose span is the quantum, not
+// the nominal period. MemBandwidth must be normalised by the real span
+// (spans are returned in WindowSpans) and every span must be positive.
+func TestWindowSpansRealDivisor(t *testing.T) {
+	cond := Pair(workload.Redis(), workload.BFS(), 0.6, 0.6, 1, 1, 17)
+	cond.QueriesPerService = 30
+	cond.WarmupQueries = 5
+	// Redis' calibrated service time is ~1e-4 s, so the quantum
+	// (minExp/64) is ~1.5e-6 s — far above this sampling period.
+	cond.SamplePeriod = 1e-9
+
+	res, err := Run(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.RequireComplete(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Services {
+		if len(s.WindowSpans) == 0 {
+			t.Fatalf("%s: no window spans recorded", s.Name)
+		}
+		if len(s.WindowSpans) != len(s.WindowTrace) {
+			t.Fatalf("%s: %d spans for %d windows", s.Name, len(s.WindowSpans), len(s.WindowTrace))
+		}
+		if len(s.QueueDepths) != len(s.WindowTrace) {
+			t.Fatalf("%s: %d queue depths for %d windows", s.Name, len(s.QueueDepths), len(s.WindowTrace))
+		}
+		for i, span := range s.WindowSpans {
+			if span <= 0 {
+				t.Fatalf("%s window %d: non-positive span %v", s.Name, i, span)
+			}
+			if span <= cond.SamplePeriod {
+				t.Fatalf("%s window %d: span %v should exceed the sampling period (windows close on quantum boundaries)",
+					s.Name, i, span)
+			}
+			w := s.WindowTrace[i]
+			want := (w[counters.MemReads] + w[counters.MemWrites]) * LineSize / span
+			if w[counters.MemBandwidth] != want {
+				t.Fatalf("%s window %d: MemBandwidth %v, want %v (normalised by real span %v)",
+					s.Name, i, w[counters.MemBandwidth], want, span)
+			}
+		}
+	}
+}
+
+// TestFinalFlushNoDuplicateWindow pins the final-flush fix: when the
+// run ends exactly on a sample boundary the flush must not append a
+// zero-span duplicate window, and in every case all measured queries
+// must still receive their counter attribution.
+func TestFinalFlushNoDuplicateWindow(t *testing.T) {
+	cond := Pair(workload.Redis(), workload.BFS(), 0.7, 0.7, 1, 1, 23)
+	cond.QueriesPerService = 40
+	cond.WarmupQueries = 5
+
+	res, err := Run(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Services {
+		// The last window must carry real activity or a real span — an
+		// all-zero trailing delta with a duplicated queue depth was the
+		// pre-fix signature of the unconditional flush.
+		last := len(s.WindowTrace) - 1
+		if last >= 1 && s.WindowSpans[last] <= 0 {
+			t.Fatalf("%s: trailing window has non-positive span %v", s.Name, s.WindowSpans[last])
+		}
+		if len(s.Queries) != cond.QueriesPerService {
+			t.Fatalf("%s: %d measured queries, want %d", s.Name, len(s.Queries), cond.QueriesPerService)
+		}
+		for i, q := range s.Queries {
+			if len(q.Trace) == 0 {
+				t.Fatalf("%s query %d: no attributed windows", s.Name, i)
+			}
+			var sum float64
+			for _, c := range q.Counters {
+				sum += c
+			}
+			if sum == 0 {
+				t.Fatalf("%s query %d: counter attribution missing", s.Name, i)
+			}
+		}
+	}
+}
+
+// TestQueueRingNoRetention pins the dispatch fix: popping the proxy
+// queue must not retain consumed queries, so a long overloaded run's
+// ring capacity stays bounded by the deepest backlog, never the total
+// number of queries that flowed through.
+func TestQueueRingNoRetention(t *testing.T) {
+	cond := Pair(workload.Redis(), workload.BFS(), 0.95, 0.95, NeverBoost, NeverBoost, 29)
+	cond.QueriesPerService = 300
+	m, err := NewMachine(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range m.svcs {
+		maxDepth := 0.0
+		for _, sr := range res.Services {
+			if sr.Name != s.name {
+				continue
+			}
+			for _, d := range sr.QueueDepths {
+				if d > maxDepth {
+					maxDepth = d
+				}
+			}
+		}
+		// Ring growth doubles, so capacity ≤ max(8, 2×peak backlog)+slack.
+		// Depths are sampled at window boundaries while the true peak can
+		// fall between samples; allow 4× headroom, still far below the 620
+		// total queries the run pushes through per service.
+		bound := 4 * (maxDepth + 8)
+		if float64(s.queue.capacity()) > bound {
+			t.Fatalf("%s: ring capacity %d exceeds %v (peak sampled backlog %v) — dead prefix retained?",
+				s.name, s.queue.capacity(), bound, maxDepth)
+		}
+	}
+}
+
+// TestQueryRingFIFO exercises the ring in isolation through growth,
+// wraparound and reset.
+func TestQueryRingFIFO(t *testing.T) {
+	var r queryRing
+	next := 0
+	popped := 0
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 7+round*5; i++ {
+			r.push(workload.Query{ID: next})
+			next++
+		}
+		for r.len() > 2 {
+			q := r.pop()
+			if q.ID != popped {
+				t.Fatalf("round %d: popped ID %d, want %d", round, q.ID, popped)
+			}
+			popped++
+		}
+	}
+	for r.len() > 0 {
+		q := r.pop()
+		if q.ID != popped {
+			t.Fatalf("drain: popped ID %d, want %d", q.ID, popped)
+		}
+		popped++
+	}
+	if popped != next {
+		t.Fatalf("popped %d of %d pushed", popped, next)
+	}
+	r.push(workload.Query{ID: 1})
+	r.reset()
+	if r.len() != 0 {
+		t.Fatal("reset did not empty the ring")
+	}
+}
+
+// TestTruncatedRunSurfaces pins the maxSim-guard fix: a run that hits
+// the simulated-time budget must say so instead of returning partial
+// measurements indistinguishable from complete ones.
+func TestTruncatedRunSurfaces(t *testing.T) {
+	old := maxSimFactor
+	maxSimFactor = 0.01 // guard trips almost immediately
+	defer func() { maxSimFactor = old }()
+
+	cond := Pair(workload.Redis(), workload.BFS(), 0.8, 0.8, 1, 1, 31)
+	cond.QueriesPerService = 50
+	res, err := Run(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("run with a 0.01× time guard must report Truncated")
+	}
+	if err := res.RequireComplete(); err == nil {
+		t.Fatal("RequireComplete must fail for a truncated run")
+	}
+
+	maxSimFactor = old
+	full, err := Run(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("normal run must not report Truncated")
+	}
+	if err := full.RequireComplete(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,9 @@
 package testbed
 
 import (
+	"fmt"
+	"strings"
+
 	"stac/internal/counters"
 	"stac/internal/stats"
 )
@@ -44,6 +47,11 @@ type ServiceResult struct {
 	// WindowTrace holds per-sampling-window service-level counter deltas
 	// for the whole run.
 	WindowTrace counters.Trace
+	// WindowSpans holds the real simulated duration of each window in
+	// WindowTrace. Windows close on quantum boundaries, so spans vary
+	// around the nominal Condition.SamplePeriod; rate-style counters in
+	// WindowTrace (MemBandwidth) are normalised by these spans.
+	WindowSpans []float64
 	// QueueDepths samples the queue length at every window boundary.
 	QueueDepths []float64
 	// BoostRatio is l_a′/l_a for the service's policy.
@@ -154,6 +162,26 @@ type RunResult struct {
 	Services  []ServiceResult
 	// SimTime is the total simulated duration.
 	SimTime float64
+	// Truncated reports that the simulated-time guard tripped before
+	// every service finished its query budget: the per-service Queries
+	// slices may be short and tail statistics unreliable. Callers that
+	// require complete measurements should check RequireComplete.
+	Truncated bool
+}
+
+// RequireComplete returns an error when the run was truncated by the
+// simulated-time guard, identifying the condition so batch callers can
+// tell which point of a sweep starved.
+func (r *RunResult) RequireComplete() error {
+	if !r.Truncated {
+		return nil
+	}
+	names := make([]string, 0, len(r.Services))
+	for _, s := range r.Services {
+		names = append(names, fmt.Sprintf("%s(%d/%d)", s.Name, len(s.Queries), r.Condition.QueriesPerService))
+	}
+	return fmt.Errorf("testbed: run truncated at sim time %.3gs before query budget completed: %s",
+		r.SimTime, strings.Join(names, ", "))
 }
 
 // Service returns the result for the named service, or nil.

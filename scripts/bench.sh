@@ -2,10 +2,12 @@
 # bench.sh — capture the simulator's performance trajectory.
 #
 # Runs the internal/cache micro-benchmarks (per-access cost of the
-# probe/fill hot path) and the internal/forest + internal/deepforest
-# training/prediction benchmarks (the stage-2 model's wall-clock floor),
-# plus one end-to-end fig6 regeneration, and writes BENCH_cache.json and
-# BENCH_forest.json so successive PRs can compare against a recorded
+# probe/fill hot path), the internal/forest + internal/deepforest
+# training/prediction benchmarks (the stage-2 model's wall-clock floor)
+# and the internal/testbed + internal/queueing machine-loop benchmarks
+# (the serial floor of every experiment condition), plus one end-to-end
+# fig6 regeneration, and writes BENCH_cache.json, BENCH_forest.json and
+# BENCH_queueing.json so successive PRs can compare against a recorded
 # baseline with benchstat or by diffing the JSON.
 #
 # Usage:
@@ -18,6 +20,7 @@
 # Environment:
 #   BENCH_OUT         cache output path (default BENCH_cache.json)
 #   BENCH_FOREST_OUT  forest output path (default BENCH_forest.json)
+#   BENCH_QUEUE_OUT   testbed/queueing output path (default BENCH_queueing.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +43,7 @@ case "${1:-}" in
 esac
 CACHE_OUT=${BENCH_OUT:-BENCH_cache.json}
 FOREST_OUT=${BENCH_FOREST_OUT:-BENCH_forest.json}
+QUEUE_OUT=${BENCH_QUEUE_OUT:-BENCH_queueing.json}
 
 # Snapshot the committed baselines before the run overwrites the outputs.
 snapshot_baseline() { # <committed name> -> prints tmp path or nothing
@@ -54,14 +58,17 @@ snapshot_baseline() { # <committed name> -> prints tmp path or nothing
 }
 CACHE_BASELINE=""
 FOREST_BASELINE=""
+QUEUE_BASELINE=""
 if [[ "$COMPARE" == 1 ]]; then
     CACHE_BASELINE=$(snapshot_baseline BENCH_cache.json)
     FOREST_BASELINE=$(snapshot_baseline BENCH_forest.json)
+    QUEUE_BASELINE=$(snapshot_baseline BENCH_queueing.json)
 fi
 
 RAW_CACHE=$(mktemp)
 RAW_FOREST=$(mktemp)
-trap 'rm -f "$RAW_CACHE" "$RAW_FOREST"' EXIT
+RAW_QUEUE=$(mktemp)
+trap 'rm -f "$RAW_CACHE" "$RAW_FOREST" "$RAW_QUEUE"' EXIT
 
 echo "== micro-benchmarks (internal/cache, count=$COUNT, benchtime=$BENCHTIME) =="
 go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
@@ -70,6 +77,10 @@ go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
 echo "== training benchmarks (internal/forest + internal/deepforest) =="
 go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
     ./internal/forest ./internal/deepforest | tee "$RAW_FOREST"
+
+echo "== machine-loop benchmarks (internal/testbed + internal/queueing) =="
+go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
+    ./internal/testbed ./internal/queueing | tee "$RAW_QUEUE"
 
 echo "== end-to-end: fig6 regeneration wall clock =="
 go build -o /tmp/stac-bench ./cmd/stac
@@ -140,6 +151,7 @@ PYEOF
 
 emit_json "$RAW_CACHE" "$CACHE_OUT" 1
 emit_json "$RAW_FOREST" "$FOREST_OUT" 0
+emit_json "$RAW_QUEUE" "$QUEUE_OUT" 0
 
 # --compare: render the per-benchmark delta tables. ns/op compares the
 # per-benchmark minimum (least scheduler noise); memory columns only show
@@ -186,3 +198,4 @@ PYEOF
 
 compare_json "$CACHE_BASELINE" "$CACHE_OUT" BENCH_cache.json
 compare_json "$FOREST_BASELINE" "$FOREST_OUT" BENCH_forest.json
+compare_json "$QUEUE_BASELINE" "$QUEUE_OUT" BENCH_queueing.json

@@ -215,9 +215,12 @@ func ProfileChain(opts ChainProfileOptions) (Dataset, error) {
 	if shared <= 0 {
 		shared = 1
 	}
+	// Draw every condition's loads and timeouts up front, in run order —
+	// the single RNG's consumption sequence must not depend on how the
+	// batch is later scheduled.
 	rng := stats.NewRNG(opts.Seed)
-	ds := Dataset{Schema: profile.DefaultSchema()}
-	for run := 0; run < runs; run++ {
+	conds := make([]Condition, runs)
+	for run := range conds {
 		cond := Condition{
 			Processor:  opts.Processor,
 			SharedWays: shared,
@@ -232,10 +235,14 @@ func ProfileChain(opts ChainProfileOptions) (Dataset, error) {
 		}
 		cond = cond.Defaults()
 		cond.QueriesPerService = queries
-		res, err := testbed.Run(cond)
-		if err != nil {
-			return Dataset{}, err
-		}
+		conds[run] = cond
+	}
+	results, err := testbed.RunBatch(0, conds)
+	if err != nil {
+		return Dataset{}, err
+	}
+	ds := Dataset{Schema: profile.DefaultSchema()}
+	for run, res := range results {
 		for svcIdx := range res.Services {
 			rows, err := profile.BuildRows(ds.Schema, res, svcIdx)
 			if err != nil {
