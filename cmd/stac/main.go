@@ -7,6 +7,7 @@
 //
 //	stac experiment <id|all> [-seed N] [-thorough] [-workers N]
 //	stac pipeline -a <kernel> -b <kernel> [-points N] [-load ρ] [-seed N] [-workers N]
+//	stac search -a <kernel> -b <kernel> [-topk N] [-sampled rate] [-validate]
 //	stac workloads
 //	stac list
 package main
@@ -53,6 +54,8 @@ func main() {
 			err = cmdPredict(args[1:])
 		case "mrc":
 			err = cmdMRC(args[1:])
+		case "search":
+			err = cmdSearch(args[1:])
 		case "workloads":
 			err = cmdWorkloads()
 		case "list":
@@ -85,6 +88,7 @@ func usage() {
   stac train -in <dataset> -model <f>              train a deep-forest EA model
   stac predict -in <dataset> -model <f> [flags]    predict response time for a scenario
   stac mrc [-accesses N]                           exact LRU miss-ratio curves per workload
+  stac search -a <kernel> -b <kernel> [flags]      surrogate sweep of all CAT mask plans
   stac workloads                                   list the Table 1 benchmark kernels
   stac list                                        list experiment ids
 

@@ -47,3 +47,25 @@ func TestParseExperimentArgsEmpty(t *testing.T) {
 		t.Fatal("missing id accepted")
 	}
 }
+
+// TestCmdSearchSmoke drives the surrogate search subcommand end to end on
+// a reduced validation length; it must rank the full plan space and
+// validate without error.
+func TestCmdSearchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search smoke is a few seconds")
+	}
+	if err := cmdSearch([]string{"-a", "redis", "-b", "bfs", "-topk", "2", "-queries", "60"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdSearchSampledSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search smoke is a few seconds")
+	}
+	if err := cmdSearch([]string{"-a", "redis", "-b", "social", "-sampled", "0.25",
+		"-topk", "1", "-validate=false"}); err != nil {
+		t.Fatal(err)
+	}
+}

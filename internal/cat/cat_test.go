@@ -320,3 +320,67 @@ func TestLayoutValidateCatchesMissingPrivate(t *testing.T) {
 		t.Fatal("layout without private ways should be rejected")
 	}
 }
+
+// TestPlanChainAsymMatchesSymmetric: equal private widths must reproduce
+// PlanChain exactly.
+func TestPlanChainAsymMatchesSymmetric(t *testing.T) {
+	want, err := PlanChain(20, 3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PlanChainAsym(20, []int{2, 2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Policies) != len(want.Policies) {
+		t.Fatalf("policy count %d != %d", len(got.Policies), len(want.Policies))
+	}
+	for i := range got.Policies {
+		if !got.Policies[i].Default.Equal(want.Policies[i].Default) ||
+			!got.Policies[i].Boost.Equal(want.Policies[i].Boost) {
+			t.Fatalf("policy %d: got %+v want %+v", i, got.Policies[i], want.Policies[i])
+		}
+	}
+}
+
+func TestPlanChainAsymPair(t *testing.T) {
+	// [ priv 5 | shared 3 | priv 12 ] on a 20-way LLC.
+	l, err := PlanChainAsym(20, []int{5, 12}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Policies[0].Default; !got.Equal(Setting{0, 5}) {
+		t.Fatalf("A default = %v", got)
+	}
+	if got := l.Policies[0].Boost; !got.Equal(Setting{0, 8}) {
+		t.Fatalf("A boost = %v", got)
+	}
+	if got := l.Policies[1].Default; !got.Equal(Setting{8, 12}) {
+		t.Fatalf("B default = %v", got)
+	}
+	if got := l.Policies[1].Boost; !got.Equal(Setting{5, 15}) {
+		t.Fatalf("B boost = %v", got)
+	}
+	// Private ways stay disjoint and the shared span is contended by both.
+	if priv := l.Private(0); len(priv) != 5 {
+		t.Fatalf("A private ways = %v", priv)
+	}
+	if sh := l.Shared(0); len(sh) != 3 {
+		t.Fatalf("A shared ways = %v", sh)
+	}
+}
+
+func TestPlanChainAsymErrors(t *testing.T) {
+	if _, err := PlanChainAsym(10, []int{5, 5}, 1); err == nil {
+		t.Error("overfull layout accepted")
+	}
+	if _, err := PlanChainAsym(10, []int{0, 5}, 1); err == nil {
+		t.Error("zero private span accepted")
+	}
+	if _, err := PlanChainAsym(10, nil, 1); err == nil {
+		t.Error("empty layout accepted")
+	}
+	if _, err := PlanChainAsym(10, []int{2, 2}, -1); err == nil {
+		t.Error("negative shared span accepted")
+	}
+}

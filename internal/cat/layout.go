@@ -90,6 +90,58 @@ func PlanChain(totalWays, n, privateWays, sharedWays int) (Layout, error) {
 	return l, nil
 }
 
+// PlanChainAsym builds the chain layout with per-workload private span
+// widths:
+//
+//	[ priv[0] | shared | priv[1] | shared | ... | priv[n-1] ]
+//
+// The symmetric PlanChain is the special case where every priv[i] is
+// equal. Asymmetric spans let a policy search shift capacity toward the
+// cache-hungrier workload while both keep private ways — the plan space
+// the surrogate-driven `stac search` sweeps.
+func PlanChainAsym(totalWays int, privs []int, sharedWays int) (Layout, error) {
+	n := len(privs)
+	if n < 1 {
+		return Layout{}, fmt.Errorf("cat: need at least one workload")
+	}
+	if sharedWays < 0 {
+		return Layout{}, fmt.Errorf("cat: negative shared span %d", sharedWays)
+	}
+	need := (n - 1) * sharedWays
+	for i, p := range privs {
+		if p <= 0 {
+			return Layout{}, fmt.Errorf("cat: workload %d private span %d must be positive", i, p)
+		}
+		need += p
+	}
+	if need > totalWays {
+		return Layout{}, fmt.Errorf("cat: layout needs %d ways, have %d", need, totalWays)
+	}
+	l := Layout{TotalWays: totalWays}
+	off := 0
+	for i, p := range privs {
+		privOff := off
+		boostOff := privOff
+		boostLen := p
+		if i > 0 {
+			boostOff -= sharedWays
+			boostLen += sharedWays
+		}
+		if i < n-1 {
+			boostLen += sharedWays
+		}
+		l.Policies = append(l.Policies, STAP{
+			Default: Setting{Offset: privOff, Length: p},
+			Boost:   Setting{Offset: boostOff, Length: boostLen},
+		})
+		off += p + sharedWays
+	}
+	if err := l.Validate(); err != nil {
+		return Layout{}, err
+	}
+	return l, nil
+}
+
 // SharerCounts returns, for each policy, how many other policies its
 // boost span overlaps — at most 2 for chain layouts (the §2 conjecture).
 func (l Layout) SharerCounts() []int {

@@ -1,0 +1,75 @@
+package mrc
+
+import (
+	"testing"
+
+	"stac/internal/workload"
+)
+
+func benchCurve(b *testing.B) *Curve {
+	b.Helper()
+	c, err := KernelCurve(workload.Redis(), 64, 100000, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkMissRatioCum queries the cumulative-array path across a large
+// capacity grid — O(1) per query after the first call builds the array.
+func BenchmarkMissRatioCum(b *testing.B) {
+	c := benchCurve(b)
+	c.ensureCum()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for capLines := 1; capLines <= 8192; capLines *= 2 {
+			sink += c.MissRatio(capLines)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkMissRatioScan is the pre-PR O(n) suffix-scan reference on the
+// same grid; the ratio to BenchmarkMissRatioCum is the satellite's win.
+func BenchmarkMissRatioScan(b *testing.B) {
+	c := benchCurve(b)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for capLines := 1; capLines <= 8192; capLines *= 2 {
+			sink += c.missRatioScan(capLines)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkExactIngest measures the full Mattson/Fenwick pass.
+func BenchmarkExactIngest(b *testing.B) {
+	a, err := NewAnalyzer(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Reset()
+		IngestPattern(a, workload.Redis().NewPattern(0), 50000, 13)
+	}
+}
+
+// BenchmarkSampledIngest measures the SHARDS pass at the default rate
+// (0.1) over the identical stream — the tentpole's constant-fraction
+// claim in one number.
+func BenchmarkSampledIngest(b *testing.B) {
+	a, err := NewSampled(SamplerConfig{LineSize: 64, Rate: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Reset()
+		IngestPattern(a, workload.Redis().NewPattern(0), 50000, 13)
+	}
+}

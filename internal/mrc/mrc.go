@@ -1,38 +1,84 @@
-// Package mrc computes exact LRU miss-ratio curves in one pass over an
-// access trace using Mattson's stack-distance algorithm. The stack
-// distance of an access is the number of distinct lines touched since the
-// previous access to the same line; a fully-associative LRU cache of
-// capacity C lines misses exactly when the distance is ≥ C (or the line
-// is cold). One pass therefore yields the miss ratio at *every* capacity
-// simultaneously — the analysis tool behind the miss-curve intuition the
-// short-term allocation policies exploit.
+// Package mrc computes LRU miss-ratio curves in one pass over an access
+// trace. The exact path uses Mattson's stack-distance algorithm: the
+// stack distance of an access is the number of distinct lines touched
+// since the previous access to the same line; a fully-associative LRU
+// cache of capacity C lines misses exactly when the distance is ≥ C (or
+// the line is cold). One pass therefore yields the miss ratio at *every*
+// capacity simultaneously — the analysis tool behind the miss-curve
+// intuition the short-term allocation policies exploit.
 //
-// The implementation keeps per-line last-access timestamps and counts
-// still-resident lines with a Fenwick tree over timestamps, giving
-// O(log n) per access.
+// The exact implementation keeps per-line last-access timestamps and
+// counts still-resident lines with a Fenwick tree over timestamps, giving
+// O(log n) per access. SampledAnalyzer approximates the same curve with
+// SHARDS-style spatial hash sampling (Waldspurger et al., FAST '15) at a
+// small constant fraction of the exact cost — see sampled.go.
 package mrc
 
 import (
 	"fmt"
 )
 
-// Curve is the result of a stack-distance pass.
+// CapacityCurve is any miss-ratio curve that can be evaluated at a cache
+// capacity expressed in lines. *Curve (exact) and *SampledCurve (SHARDS)
+// both satisfy it; the surrogate models consume either interchangeably.
+type CapacityCurve interface {
+	// MissRatio returns the fully-associative LRU miss ratio at a
+	// capacity of c lines.
+	MissRatio(capacityLines int) float64
+}
+
+// Curve is the result of a stack-distance pass. It is a point-in-time
+// view: further Access or Reset calls on the analyzer that produced it
+// invalidate it.
 type Curve struct {
 	// Hist[d] counts accesses with stack distance exactly d (in lines).
-	// Distances at or beyond len(Hist) are folded into Cold? No —
-	// distances are exact; Hist grows as needed.
+	// Distances are exact; Hist grows as needed.
 	Hist []uint64
 	// Cold counts first-touch accesses (infinite distance).
 	Cold uint64
 	// Total is the number of accesses processed.
 	Total uint64
+
+	// cum[c] is the number of misses in a fully-associative LRU cache of
+	// capacity c lines: Cold plus every access at stack distance ≥ c.
+	// Built lazily on the first MissRatio/At call so sweeps over large
+	// capacity grids cost O(1) per query instead of an O(n) suffix scan.
+	cum []uint64
 }
 
-// MissRatio returns the fully-associative LRU miss ratio at a capacity of
-// c lines: the fraction of accesses with stack distance ≥ c, plus colds.
-func (c *Curve) MissRatio(capacityLines int) float64 {
+// ensureCum builds the cumulative misses-at-capacity array when absent.
+func (c *Curve) ensureCum() {
+	if c.cum != nil {
+		return
+	}
+	cum := make([]uint64, len(c.Hist)+1)
+	cum[len(c.Hist)] = c.Cold
+	for d := len(c.Hist) - 1; d >= 0; d-- {
+		cum[d] = cum[d+1] + c.Hist[d]
+	}
+	c.cum = cum
+}
+
+// missesAt returns the number of misses at a capacity of c lines.
+func (c *Curve) missesAt(capacityLines int) uint64 {
+	c.ensureCum()
+	if capacityLines < 0 {
+		capacityLines = 0
+	}
+	if capacityLines >= len(c.cum) {
+		return c.Cold
+	}
+	return c.cum[capacityLines]
+}
+
+// missRatioScan is the pre-cumulative O(n) reference implementation, kept
+// for the regression test and benchmark that pin the cum array's win.
+func (c *Curve) missRatioScan(capacityLines int) float64 {
 	if c.Total == 0 {
 		return 0
+	}
+	if capacityLines < 0 {
+		capacityLines = 0
 	}
 	misses := c.Cold
 	for d := capacityLines; d < len(c.Hist); d++ {
@@ -41,7 +87,18 @@ func (c *Curve) MissRatio(capacityLines int) float64 {
 	return float64(misses) / float64(c.Total)
 }
 
-// Curve evaluates the miss ratio at each of the given capacities.
+// MissRatio returns the fully-associative LRU miss ratio at a capacity of
+// c lines: the fraction of accesses with stack distance ≥ c, plus colds.
+// The first call after an ingest builds a cumulative array; subsequent
+// calls are O(1). Not safe for concurrent use.
+func (c *Curve) MissRatio(capacityLines int) float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.missesAt(capacityLines)) / float64(c.Total)
+}
+
+// At evaluates the miss ratio at each of the given capacities.
 func (c *Curve) At(capacities []int) []float64 {
 	out := make([]float64, len(capacities))
 	for i, cap := range capacities {
@@ -62,18 +119,39 @@ type Analyzer struct {
 
 // NewAnalyzer creates an analyzer for the given line size (power of two).
 func NewAnalyzer(lineSize int) (*Analyzer, error) {
-	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
-		return nil, fmt.Errorf("mrc: line size %d must be a positive power of two", lineSize)
-	}
-	shift := uint(0)
-	for 1<<shift != lineSize {
-		shift++
+	shift, err := lineShift(lineSize)
+	if err != nil {
+		return nil, err
 	}
 	return &Analyzer{
 		lineShift: shift,
 		last:      make(map[uint64]int),
 		tree:      make([]uint64, 1),
 	}, nil
+}
+
+// lineShift validates a power-of-two line size and returns log2(size).
+func lineShift(lineSize int) (uint, error) {
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		return 0, fmt.Errorf("mrc: line size %d must be a positive power of two", lineSize)
+	}
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+	}
+	return shift, nil
+}
+
+// Reset returns the analyzer to its initial state while retaining the
+// allocated last map, Fenwick tree and histogram storage, so batch curve
+// construction over many windows stops reallocating per window. Curves
+// previously returned by Curve() share that storage and are invalidated.
+func (a *Analyzer) Reset() {
+	clear(a.last)
+	a.tree = a.tree[:1]
+	a.tree[0] = 0
+	a.time = 0
+	a.curve = Curve{Hist: a.curve.Hist[:0]}
 }
 
 // fenwick add at position i (1-based).
@@ -120,10 +198,12 @@ func (a *Analyzer) Access(addr uint64) {
 	a.add(a.time, 1)
 	a.last[line] = a.time
 	a.curve.Total++
+	a.curve.cum = nil // ingest invalidates the cumulative array
 }
 
-// Curve returns the accumulated curve (a copy of the counters' headers;
-// the histogram slice is shared — callers must not mutate it).
+// Curve returns the accumulated curve. The histogram slice is shared with
+// the analyzer — callers must not mutate it, and must re-fetch the curve
+// after further Access or Reset calls.
 func (a *Analyzer) Curve() *Curve {
 	c := a.curve
 	return &c

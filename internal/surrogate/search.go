@@ -1,0 +1,485 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stac/internal/mrc"
+	"stac/internal/queueing"
+	"stac/internal/stats"
+	"stac/internal/testbed"
+	"stac/internal/workload"
+)
+
+// Plan is one candidate CAT mask plan for a two-service collocation: an
+// asymmetric chain layout [ privA | shared | privB ] plus the per-service
+// short-term allocation timeouts (relative to expected service time;
+// testbed.NeverBoost disables boosting).
+type Plan struct {
+	PrivA, PrivB, Shared int
+	TimeoutA, TimeoutB   float64
+}
+
+func (p Plan) String() string {
+	ft := func(t float64) string {
+		if math.IsInf(t, 1) {
+			return "never"
+		}
+		return fmt.Sprintf("%.2g", t)
+	}
+	return fmt.Sprintf("[%d|%d|%d] t=(%s,%s)", p.PrivA, p.Shared, p.PrivB, ft(p.TimeoutA), ft(p.TimeoutB))
+}
+
+// Evaluation is the surrogate's prediction for one plan.
+type Evaluation struct {
+	Plan Plan
+	// P95 and Mean are predicted response times per service.
+	P95  [2]float64
+	Mean [2]float64
+	// Speedup is predicted p95 speedup over the no-sharing baseline
+	// (baseline p95 / plan p95), the Figure 8 metric.
+	Speedup [2]float64
+	// Score ranks plans: the geometric mean of the two speedups.
+	Score float64
+	// BoostedFrac is the predicted fraction of boosted queries.
+	BoostedFrac [2]float64
+}
+
+// Config parameterises a Searcher.
+type Config struct {
+	Processor        testbed.Processor
+	KernelA, KernelB workload.Kernel
+	LoadA, LoadB     float64
+	// Accesses is the MRC trace length per kernel (default 40000).
+	Accesses int
+	// Sampler, when non-nil, builds the curves with SHARDS sampling (a
+	// 4-seed averaged set) instead of the exact Mattson pass.
+	Sampler *mrc.SamplerConfig
+	// Intervals, when non-nil, builds each curve from representative
+	// intervals (SelectIntervals): the trace is clustered into K windows
+	// and only the representatives are profiled — the cheapest curve
+	// source, at the cost of treating cross-window reuse as cold.
+	Intervals *IntervalConfig
+	// SimQueries is the Stage-3 simulation length per plan evaluation
+	// (default 1500).
+	SimQueries int
+	// Grid is the timeout grid EnumeratePlans sweeps (default the paper's
+	// 5-point grid, §5.2).
+	Grid []float64
+	// Seed drives curve construction, anchoring and the queueing sims.
+	Seed uint64
+}
+
+func (c Config) defaults() Config {
+	if c.Processor.Name == "" {
+		c.Processor = testbed.XeonE5_2683()
+	}
+	if c.LoadA == 0 {
+		c.LoadA = 0.9
+	}
+	if c.LoadB == 0 {
+		c.LoadB = 0.9
+	}
+	if c.Accesses == 0 {
+		c.Accesses = 40000
+	}
+	if c.SimQueries == 0 {
+		c.SimQueries = 1500
+	}
+	if len(c.Grid) == 0 {
+		// The paper's searched timeout settings (policy.TimeoutGrid).
+		c.Grid = []float64{0, 0.5, 1.5, 3, 4.5}
+	}
+	return c
+}
+
+// simKey memoises queueing simulations: plans that reduce to the same
+// (rates, distribution, timeout) tuple — e.g. differing only in the
+// partner's timeout — share one simulation. Float inputs are quantised
+// to 1e-4 relative so physically identical configs hit the same cell.
+type simKey struct {
+	arrival, baseMean, cv, timeout, boostRate int64
+	servers, queries                          int
+}
+
+type simOut struct {
+	mean, p95, boosted float64
+}
+
+func quant(v float64) int64 {
+	if math.IsInf(v, 1) {
+		return math.MaxInt64
+	}
+	return int64(math.Round(v * 1e4))
+}
+
+// Searcher evaluates mask plans with the surrogate stack. Construct with
+// New; methods are not safe for concurrent use (the sim cache is a plain
+// map).
+type Searcher struct {
+	cfg    Config
+	models [2]*Model
+	loads  [2]float64
+
+	// baseline (no sharing: 2 private ways each, never boost) p95s.
+	basePlan Plan
+	baseP95  [2]float64
+
+	sims    map[simKey]simOut
+	simRuns int
+}
+
+// servers is the per-service parallelism of the evaluation conditions.
+const servers = 2
+
+// New builds the surrogate searcher: two miss-ratio curves (exact or
+// sampled), two anchored models, and the no-sharing baseline prediction.
+func New(cfg Config) (*Searcher, error) {
+	cfg = cfg.defaults()
+	if cfg.LoadA <= 0 || cfg.LoadA >= 1 || cfg.LoadB <= 0 || cfg.LoadB >= 1 {
+		return nil, fmt.Errorf("surrogate: loads (%v, %v) outside (0,1)", cfg.LoadA, cfg.LoadB)
+	}
+	s := &Searcher{cfg: cfg, loads: [2]float64{cfg.LoadA, cfg.LoadB}, sims: map[simKey]simOut{}}
+	for i, k := range []workload.Kernel{cfg.KernelA, cfg.KernelB} {
+		var curve mrc.CapacityCurve
+		if cfg.Intervals != nil {
+			ic := *cfg.Intervals
+			ic.Seed = cfg.Seed + uint64(i)*101
+			if ic.LineSize == 0 {
+				ic.LineSize = testbed.LineSize
+			}
+			iv, err := SelectIntervals(k.NewPattern(0), cfg.Accesses, ic)
+			if err != nil {
+				return nil, err
+			}
+			curve = iv
+		} else if cfg.Sampler != nil {
+			sc := *cfg.Sampler
+			if sc.LineSize == 0 {
+				sc.LineSize = testbed.LineSize
+			}
+			sc.Seed = cfg.Seed + uint64(i)*101
+			set, err := mrc.NewSampledSet(sc, 4)
+			if err != nil {
+				return nil, err
+			}
+			mrc.IngestPattern(set, k.NewPattern(0), cfg.Accesses, 13)
+			curve = set.Curve()
+		} else {
+			c, err := mrc.KernelCurve(k, testbed.LineSize, cfg.Accesses, 13)
+			if err != nil {
+				return nil, err
+			}
+			curve = c
+		}
+		m, err := NewModel(cfg.Processor, k, curve, ModelConfig{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		s.models[i] = m
+	}
+
+	// The Figure 8 baseline: the default symmetric layout with boosting
+	// disabled — each service confined to its 2 private ways.
+	s.basePlan = Plan{PrivA: 2, PrivB: 2, Shared: 2,
+		TimeoutA: testbed.NeverBoost, TimeoutB: testbed.NeverBoost}
+	base, err := s.predict(s.basePlan)
+	if err != nil {
+		return nil, fmt.Errorf("surrogate: baseline prediction: %w", err)
+	}
+	s.baseP95 = base.P95
+	return s, nil
+}
+
+// Models exposes the per-service analytical models (A, B).
+func (s *Searcher) Models() [2]*Model { return s.models }
+
+// SimRuns reports how many queueing simulations actually ran (cache
+// misses) — the honest denominator for plans-per-simulation claims.
+func (s *Searcher) SimRuns() int { return s.simRuns }
+
+// EnumeratePlans generates the exhaustive plan space: every asymmetric
+// chain layout using all of the processor's ways (privA ≥ 1, privB ≥ 1,
+// shared ≥ 0, privA+shared+privB = ways) crossed with the timeout grid.
+// On the 20-way default platform that is 171 shared layouts × 25 timeout
+// pairs + 19 fully-private layouts = 4294 plans.
+func (s *Searcher) EnumeratePlans() []Plan {
+	ways := s.cfg.Processor.Ways
+	var plans []Plan
+	for privA := 1; privA <= ways-1; privA++ {
+		for privB := 1; privA+privB <= ways; privB++ {
+			shared := ways - privA - privB
+			if shared == 0 {
+				// No shared span: boosting is a no-op, a single timeout
+				// pair represents the layout.
+				plans = append(plans, Plan{PrivA: privA, PrivB: privB, Shared: 0,
+					TimeoutA: testbed.NeverBoost, TimeoutB: testbed.NeverBoost})
+				continue
+			}
+			for _, ta := range s.cfg.Grid {
+				for _, tb := range s.cfg.Grid {
+					plans = append(plans, Plan{PrivA: privA, PrivB: privB, Shared: shared,
+						TimeoutA: ta, TimeoutB: tb})
+				}
+			}
+		}
+	}
+	return plans
+}
+
+// Evaluate predicts one plan's response times and speedups.
+func (s *Searcher) Evaluate(p Plan) (Evaluation, error) {
+	ev, err := s.predict(p)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	for i := 0; i < 2; i++ {
+		ev.Speedup[i] = s.baseP95[i] / ev.P95[i]
+	}
+	ev.Score = math.Sqrt(ev.Speedup[0] * ev.Speedup[1])
+	return ev, nil
+}
+
+// Search evaluates every plan and returns them ranked by predicted score
+// (best first, deterministic tie-break on the plan fields).
+func (s *Searcher) Search(plans []Plan) ([]Evaluation, error) {
+	out := make([]Evaluation, 0, len(plans))
+	for _, p := range plans {
+		ev, err := s.Evaluate(p)
+		if err != nil {
+			return nil, fmt.Errorf("surrogate: plan %v: %w", p, err)
+		}
+		out = append(out, ev)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		a, b := out[i].Plan, out[j].Plan
+		if a.PrivA != b.PrivA {
+			return a.PrivA < b.PrivA
+		}
+		if a.PrivB != b.PrivB {
+			return a.PrivB < b.PrivB
+		}
+		if a.TimeoutA != b.TimeoutA {
+			return a.TimeoutA < b.TimeoutA
+		}
+		return a.TimeoutB < b.TimeoutB
+	})
+	return out, nil
+}
+
+// predict runs the analytical model + queueing pipeline for a plan.
+//
+// Contention enters in three places, mirroring the testbed: (1) memory
+// bandwidth pressure from the partner's miss traffic inflates memory
+// latency — crucially the traffic is computed at each service's
+// *boost-weighted* average allocation, because a partner that boosts
+// often misses far less and so presses far less (this coupling is what
+// makes aggressively boosting a cache-hungry neighbour profitable, as
+// the testbed shows); (2) the partner's boosted fraction discounts the
+// shared span's effective capacity during this service's boosts (both
+// boost masks overlap the shared ways); (3) the boost-phase rate
+// multiplier feeds the timeout-triggered queueing simulation. The
+// boosted fractions come from the simulation itself, so predict runs
+// two passes: pass 1 assumes unboosted, uncontended services, pass 2
+// re-simulates with the partner's simulated boost fraction feeding both
+// the capacity discount and the pressure fixed point.
+func (s *Searcher) predict(p Plan) (Evaluation, error) {
+	if err := s.validatePlan(p); err != nil {
+		return Evaluation{}, err
+	}
+	priv := [2]int{p.PrivA, p.PrivB}
+	timeouts := [2]float64{p.TimeoutA, p.TimeoutB}
+
+	ev := Evaluation{Plan: p}
+	boostFrac := [2]float64{0, 0}
+	for pass := 0; pass < 2; pass++ {
+		// (1) Bandwidth pressure fixed point at the boost-weighted average
+		// allocation. Pressure changes execution speed, which changes miss
+		// traffic; two sweeps from zero converge well within the model's
+		// accuracy (the cap at 2 mirrors the testbed).
+		var pressure [2]float64
+		var avgLines [2]float64
+		for i := 0; i < 2; i++ {
+			effShared := float64(p.Shared) * (1 - 0.5*boostFrac[1-i])
+			avgLines[i] = (float64(priv[i]) + boostFrac[i]*effShared) * float64(s.models[i].linesPerWay)
+		}
+		for iter := 0; iter < 2; iter++ {
+			var traffic [2]float64
+			for i := 0; i < 2; i++ {
+				traffic[i] = s.models[i].memTrafficAtLines(avgLines[i], pressure[i], s.loads[i], servers)
+			}
+			for i := 0; i < 2; i++ {
+				pr := traffic[1-i] / s.cfg.Processor.MemBandwidthCap
+				if pr > 2 {
+					pr = 2
+				}
+				pressure[i] = pr
+			}
+		}
+
+		var frac [2]float64
+		for i := 0; i < 2; i++ {
+			m := s.models[i]
+			// Solo expected service time at the plan's default span — the
+			// quantity that normalises timeouts and arrival rates in the
+			// testbed (calibrated without contention).
+			exp := m.ServiceTime(priv[i], 0)
+			baseMean := m.ServiceTime(priv[i], pressure[i])
+
+			// (2) Effective boost span: the shared ways discounted by the
+			// partner's overlapping boost occupancy.
+			effShared := float64(p.Shared) * (1 - 0.5*boostFrac[1-i])
+			boostLines := int(math.Round((float64(priv[i]) + effShared) * float64(m.linesPerWay)))
+			boostMean := m.serviceTimeAtLines(boostLines, pressure[i])
+			boostRate := baseMean / boostMean
+			if boostRate < 1 {
+				boostRate = 1 // extra ways never hurt in the analytical model
+			}
+
+			timeout := timeouts[i] * exp
+			if math.IsInf(timeouts[i], 1) {
+				timeout = math.Inf(1)
+			}
+			res, err := s.simulate(queueing.Config{
+				Servers:   servers,
+				Arrival:   stats.Exponential{Rate: s.loads[i] * servers / exp},
+				Service:   stats.LognormalFromMeanCV(baseMean, m.ServiceCV()),
+				Timeout:   timeout,
+				BoostRate: boostRate,
+				Queries:   s.cfg.SimQueries,
+				Warmup:    s.cfg.SimQueries / 10,
+				Seed:      1,
+			})
+			if err != nil {
+				return Evaluation{}, err
+			}
+			ev.Mean[i] = res.mean
+			ev.P95[i] = res.p95
+			ev.BoostedFrac[i] = res.boosted
+			frac[i] = res.boosted
+		}
+		boostFrac = frac
+	}
+	return ev, nil
+}
+
+func (s *Searcher) validatePlan(p Plan) error {
+	if p.PrivA < 1 || p.PrivB < 1 || p.Shared < 0 {
+		return fmt.Errorf("surrogate: bad plan spans [%d|%d|%d]", p.PrivA, p.Shared, p.PrivB)
+	}
+	if p.PrivA+p.Shared+p.PrivB > s.cfg.Processor.Ways {
+		return fmt.Errorf("surrogate: plan uses %d ways, processor has %d",
+			p.PrivA+p.Shared+p.PrivB, s.cfg.Processor.Ways)
+	}
+	if p.TimeoutA < 0 || p.TimeoutB < 0 {
+		return fmt.Errorf("surrogate: negative timeout")
+	}
+	return nil
+}
+
+// simulate runs (or replays from cache) one Stage-3 simulation.
+func (s *Searcher) simulate(cfg queueing.Config) (simOut, error) {
+	ln := cfg.Service.(stats.Lognormal)
+	key := simKey{
+		arrival:   quant(cfg.Arrival.(stats.Exponential).Rate * 1e-3),
+		baseMean:  quant(ln.Mu),
+		cv:        quant(ln.Sigma),
+		timeout:   quant(cfg.Timeout * 1e3),
+		boostRate: quant(cfg.BoostRate),
+		servers:   cfg.Servers,
+		queries:   cfg.Queries,
+	}
+	if out, ok := s.sims[key]; ok {
+		return out, nil
+	}
+	res, err := queueing.Simulate(cfg)
+	if err != nil {
+		return simOut{}, err
+	}
+	out := simOut{mean: res.MeanResponse(), p95: res.P95Response(), boosted: res.BoostedFrac}
+	s.sims[key] = out
+	s.simRuns++
+	return out, nil
+}
+
+// Validated pairs a surrogate evaluation with testbed ground truth.
+type Validated struct {
+	Evaluation
+	// MeasuredP95 and MeasuredSpeedup come from full packed-simulator
+	// runs of the plan (and the shared no-sharing baseline).
+	MeasuredP95     [2]float64
+	MeasuredSpeedup [2]float64
+	MeasuredScore   float64
+}
+
+// Validate re-runs the top k ranked evaluations (and the no-sharing
+// baseline) through the full testbed and returns them with measured
+// speedups, in the surrogate's rank order. queries controls run length
+// (0 = the testbed default).
+func (s *Searcher) Validate(ranked []Evaluation, k, queries int) ([]Validated, error) {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	baseP95, err := s.measure(s.basePlan, queries)
+	if err != nil {
+		return nil, fmt.Errorf("surrogate: baseline validation: %w", err)
+	}
+	out := make([]Validated, 0, k)
+	for _, ev := range ranked[:k] {
+		p95, err := s.measure(ev.Plan, queries)
+		if err != nil {
+			return nil, fmt.Errorf("surrogate: validating %v: %w", ev.Plan, err)
+		}
+		v := Validated{Evaluation: ev, MeasuredP95: p95}
+		for i := 0; i < 2; i++ {
+			v.MeasuredSpeedup[i] = baseP95[i] / p95[i]
+		}
+		v.MeasuredScore = math.Sqrt(v.MeasuredSpeedup[0] * v.MeasuredSpeedup[1])
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Condition materialises a plan as a full testbed condition — the exact
+// configuration Validate measures.
+func (s *Searcher) Condition(p Plan, queries int) testbed.Condition {
+	cond := testbed.Condition{
+		Processor: s.cfg.Processor,
+		Services: []testbed.ServiceSpec{
+			{Kernel: s.cfg.KernelA, Load: s.loads[0], Timeout: p.TimeoutA},
+			{Kernel: s.cfg.KernelB, Load: s.loads[1], Timeout: p.TimeoutB},
+		},
+		Seed: s.cfg.Seed + 900001,
+	}.Defaults()
+	// Layout fields are set after Defaults: a zero shared span is a valid
+	// plan (boosting is a no-op), not a request for the default width.
+	cond.PrivateWaysBySvc = []int{p.PrivA, p.PrivB}
+	cond.SharedWays = p.Shared
+	if queries > 0 {
+		cond.QueriesPerService = queries
+	}
+	return cond
+}
+
+// measure runs one plan on the testbed and returns per-service p95s.
+func (s *Searcher) measure(p Plan, queries int) ([2]float64, error) {
+	run, err := testbed.Run(s.Condition(p, queries))
+	if err != nil {
+		return [2]float64{}, err
+	}
+	if err := run.RequireComplete(); err != nil {
+		return [2]float64{}, err
+	}
+	var out [2]float64
+	for i := 0; i < 2; i++ {
+		out[i] = run.Services[i].P95Response()
+		if out[i] <= 0 {
+			return [2]float64{}, fmt.Errorf("surrogate: degenerate measured p95 for service %d", i)
+		}
+	}
+	return out, nil
+}

@@ -39,13 +39,36 @@ func BenchmarkMachineRun(b *testing.B) {
 	}
 }
 
+// BenchmarkCalibrate measures one full (uncached) solo calibration.
+// It deliberately bypasses CalibrateServiceTime's memo: with the memo in
+// the loop, every b.N re-run would hit entries stored by the previous
+// ramp run, collapse the measured cost to a map lookup, and overshoot
+// the iteration count by orders of magnitude.
 func BenchmarkCalibrate(b *testing.B) {
 	proc := XeonE5_2683()
 	k := workload.Redis()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := CalibrateServiceTime(proc, k, calSetting(), 1<<32, uint64(i)); err != nil {
+		if _, err := calibrateUncached(proc, k, calSetting(), 1<<32, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalibrateMemoized measures the memo-hit fast path the
+// surrogate searcher leans on (per-way anchors resolve here after the
+// first plan).
+func BenchmarkCalibrateMemoized(b *testing.B) {
+	proc := XeonE5_2683()
+	k := workload.Redis()
+	if _, err := CalibrateServiceTime(proc, k, calSetting(), 1<<32, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CalibrateServiceTime(proc, k, calSetting(), 1<<32, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -70,6 +70,12 @@ type Condition struct {
 	// SharedWays is the size of each shared span between neighbouring
 	// services, used by short-term allocation.
 	SharedWays int
+	// PrivateWaysBySvc, when non-nil, gives each service its own private
+	// span width (cat.PlanChainAsym) instead of the uniform PrivateWays.
+	// Must match len(Services). Used by the surrogate policy search to
+	// validate asymmetric mask plans; nil preserves the paper's symmetric
+	// chain exactly.
+	PrivateWaysBySvc []int
 	// CoresPerService is the number of cores dedicated to each service
 	// (the paper provisions 2).
 	CoresPerService int
@@ -107,7 +113,9 @@ func (c Condition) Defaults() Condition {
 	if c.PrivateWays == 0 {
 		c.PrivateWays = 2
 	}
-	if c.SharedWays == 0 {
+	if c.SharedWays == 0 && c.PrivateWaysBySvc == nil {
+		// Asymmetric layouts specify their spans fully — a zero shared
+		// span there means "no shared ways", not "use the default".
 		c.SharedWays = 2
 	}
 	if c.SamplePeriod == 0 {
@@ -143,6 +151,19 @@ func (c Condition) Validate() error {
 			len(c.Services), c.CoresPerService, c.Processor.Cores)
 	}
 	need := len(c.Services)*c.PrivateWays + (len(c.Services)-1)*c.SharedWays
+	if c.PrivateWaysBySvc != nil {
+		if len(c.PrivateWaysBySvc) != len(c.Services) {
+			return fmt.Errorf("testbed: %d per-service private widths for %d services",
+				len(c.PrivateWaysBySvc), len(c.Services))
+		}
+		need = (len(c.Services) - 1) * c.SharedWays
+		for i, p := range c.PrivateWaysBySvc {
+			if p <= 0 {
+				return fmt.Errorf("testbed: service %d private ways %d must be positive", i, p)
+			}
+			need += p
+		}
+	}
 	if need > c.Processor.Ways {
 		return fmt.Errorf("testbed: layout needs %d ways, processor has %d", need, c.Processor.Ways)
 	}

@@ -2,6 +2,7 @@ package testbed
 
 import (
 	"math"
+	"math/bits"
 	"testing"
 
 	"stac/internal/cat"
@@ -161,5 +162,54 @@ func TestLatencyCostOrdering(t *testing.T) {
 	l := DefaultLatencies()
 	if !(l.L1Hit < l.L2Hit && l.L2Hit < l.LLCHit && l.LLCHit < l.Memory) {
 		t.Fatal("latency ordering violated")
+	}
+}
+
+// TestAsymmetricPrivateWays: per-service private widths flow through to
+// the CLOS masks, and the nil default reproduces the symmetric chain.
+func TestAsymmetricPrivateWays(t *testing.T) {
+	cond := Pair(workload.Redis(), workload.Social(), 0.5, 0.5, 0, 0, 1)
+	cond.PrivateWaysBySvc = []int{5, 9}
+	cond.SharedWays = 3
+	masks, err := layoutMasks(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bits.OnesCount64(masks[0].Default); got != 5 {
+		t.Fatalf("service 0 default ways = %d, want 5", got)
+	}
+	if got := bits.OnesCount64(masks[1].Default); got != 9 {
+		t.Fatalf("service 1 default ways = %d, want 9", got)
+	}
+	if got := bits.OnesCount64(masks[0].Boost); got != 8 {
+		t.Fatalf("service 0 boost ways = %d, want 8", got)
+	}
+	if masks[0].Default&masks[1].Default != 0 {
+		t.Fatal("private spans overlap")
+	}
+	if err := cond.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A run must work end to end with the asymmetric layout.
+	cond.QueriesPerService = 20
+	cond.WarmupQueries = 5
+	if _, err := Run(cond); err != nil {
+		t.Fatal(err)
+	}
+	// Validation failures: wrong length, non-positive width, overfull.
+	bad := cond
+	bad.PrivateWaysBySvc = []int{5}
+	if err := bad.Validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad = cond
+	bad.PrivateWaysBySvc = []int{0, 9}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero width accepted")
+	}
+	bad = cond
+	bad.PrivateWaysBySvc = []int{12, 12}
+	if err := bad.Validate(); err == nil {
+		t.Error("overfull layout accepted")
 	}
 }

@@ -3,12 +3,18 @@
 #
 # Runs the internal/cache micro-benchmarks (per-access cost of the
 # probe/fill hot path), the internal/forest + internal/deepforest
-# training/prediction benchmarks (the stage-2 model's wall-clock floor)
-# and the internal/testbed + internal/queueing machine-loop benchmarks
-# (the serial floor of every experiment condition), plus one end-to-end
-# fig6 regeneration, and writes BENCH_cache.json, BENCH_forest.json and
-# BENCH_queueing.json so successive PRs can compare against a recorded
-# baseline with benchstat or by diffing the JSON.
+# training/prediction benchmarks (the stage-2 model's wall-clock floor),
+# the internal/testbed + internal/queueing machine-loop benchmarks
+# (the serial floor of every experiment condition) and the internal/mrc +
+# internal/surrogate fast-path benchmarks (MRC ingestion and the
+# surrogate-vs-replay per-plan cost), plus one end-to-end fig6
+# regeneration, and writes BENCH_cache.json, BENCH_forest.json,
+# BENCH_queueing.json and BENCH_mrc.json so successive PRs can compare
+# against a recorded baseline with benchstat or by diffing the JSON.
+# BENCH_mrc.json additionally records surrogate_speedup_vs_replay: the
+# measured ratio of a full testbed replay of one plan (default query
+# count) to one surrogate evaluation — the honest per-plan speedup of
+# `stac search`.
 #
 # Usage:
 #   scripts/bench.sh            full run (8 samples per benchmark)
@@ -21,6 +27,7 @@
 #   BENCH_OUT         cache output path (default BENCH_cache.json)
 #   BENCH_FOREST_OUT  forest output path (default BENCH_forest.json)
 #   BENCH_QUEUE_OUT   testbed/queueing output path (default BENCH_queueing.json)
+#   BENCH_MRC_OUT     mrc/surrogate output path (default BENCH_mrc.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +51,7 @@ esac
 CACHE_OUT=${BENCH_OUT:-BENCH_cache.json}
 FOREST_OUT=${BENCH_FOREST_OUT:-BENCH_forest.json}
 QUEUE_OUT=${BENCH_QUEUE_OUT:-BENCH_queueing.json}
+MRC_OUT=${BENCH_MRC_OUT:-BENCH_mrc.json}
 
 # Snapshot the committed baselines before the run overwrites the outputs.
 snapshot_baseline() { # <committed name> -> prints tmp path or nothing
@@ -59,16 +67,19 @@ snapshot_baseline() { # <committed name> -> prints tmp path or nothing
 CACHE_BASELINE=""
 FOREST_BASELINE=""
 QUEUE_BASELINE=""
+MRC_BASELINE=""
 if [[ "$COMPARE" == 1 ]]; then
     CACHE_BASELINE=$(snapshot_baseline BENCH_cache.json)
     FOREST_BASELINE=$(snapshot_baseline BENCH_forest.json)
     QUEUE_BASELINE=$(snapshot_baseline BENCH_queueing.json)
+    MRC_BASELINE=$(snapshot_baseline BENCH_mrc.json)
 fi
 
 RAW_CACHE=$(mktemp)
 RAW_FOREST=$(mktemp)
 RAW_QUEUE=$(mktemp)
-trap 'rm -f "$RAW_CACHE" "$RAW_FOREST" "$RAW_QUEUE"' EXIT
+RAW_MRC=$(mktemp)
+trap 'rm -f "$RAW_CACHE" "$RAW_FOREST" "$RAW_QUEUE" "$RAW_MRC"' EXIT
 
 echo "== micro-benchmarks (internal/cache, count=$COUNT, benchtime=$BENCHTIME) =="
 go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
@@ -81,6 +92,10 @@ go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
 echo "== machine-loop benchmarks (internal/testbed + internal/queueing) =="
 go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
     ./internal/testbed ./internal/queueing | tee "$RAW_QUEUE"
+
+echo "== fast-path benchmarks (internal/mrc + internal/surrogate) =="
+go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
+    ./internal/mrc ./internal/surrogate | tee "$RAW_MRC"
 
 echo "== end-to-end: fig6 regeneration wall clock =="
 go build -o /tmp/stac-bench ./cmd/stac
@@ -142,6 +157,16 @@ doc = {
 }
 if withfig6 == "1":
     doc["fig6_wall_clock_seconds"] = float(fig6)
+# The surrogate fast path's headline number: how many times cheaper one
+# surrogate plan evaluation is than one full testbed replay of the same
+# plan (default query count). Setup (curves + per-way anchor
+# calibrations) is a one-time cost reported separately via
+# BenchmarkSearcherSetup and amortises over the whole sweep.
+sur = bench.get("BenchmarkSurrogateEvaluate")
+rep = bench.get("BenchmarkTestbedReplayPlan")
+if sur and rep and sur["ns_per_op_min"] > 0:
+    doc["surrogate_speedup_vs_replay"] = round(
+        rep["ns_per_op_min"] / sur["ns_per_op_min"], 1)
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
@@ -152,6 +177,7 @@ PYEOF
 emit_json "$RAW_CACHE" "$CACHE_OUT" 1
 emit_json "$RAW_FOREST" "$FOREST_OUT" 0
 emit_json "$RAW_QUEUE" "$QUEUE_OUT" 0
+emit_json "$RAW_MRC" "$MRC_OUT" 0
 
 # --compare: render the per-benchmark delta tables. ns/op compares the
 # per-benchmark minimum (least scheduler noise); memory columns only show
@@ -192,6 +218,9 @@ for name in sorted(set(bb) | set(cb)):
 bw, cw = base.get("fig6_wall_clock_seconds"), cur.get("fig6_wall_clock_seconds")
 if bw and cw:
     print(f"| fig6 wall clock | {bw:.2f}s | {cw:.2f}s | {(cw - bw) / bw * 100:+.1f}% | |")
+bs, cs = base.get("surrogate_speedup_vs_replay"), cur.get("surrogate_speedup_vs_replay")
+if bs and cs:
+    print(f"| surrogate speedup vs replay | {bs}x | {cs}x | {(cs - bs) / bs * 100:+.1f}% | |")
 PYEOF
     rm -f "$baseline"
 }
@@ -199,3 +228,4 @@ PYEOF
 compare_json "$CACHE_BASELINE" "$CACHE_OUT" BENCH_cache.json
 compare_json "$FOREST_BASELINE" "$FOREST_OUT" BENCH_forest.json
 compare_json "$QUEUE_BASELINE" "$QUEUE_OUT" BENCH_queueing.json
+compare_json "$MRC_BASELINE" "$MRC_OUT" BENCH_mrc.json

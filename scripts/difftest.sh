@@ -14,6 +14,11 @@
 #   scripts/difftest.sh -quick     test-suite-sized sweep (~1.9M accesses)
 #   scripts/difftest.sh -fuzz      standard sweep, then 2 minutes of
 #                                  coverage-guided fuzzing per target
+#   scripts/difftest.sh -surrogate surrogate-vs-simulator sweep only: the
+#                                  sampled-MRC convergence properties and
+#                                  the surrogate search's differential
+#                                  gates (anchor identity, Figure-8 top-k
+#                                  vs exhaustive testbed measurement)
 #
 # Environment:
 #   STAC_DIFFTEST_ACCESSES  override the per-test access budget
@@ -23,6 +28,7 @@ cd "$(dirname "$0")/.."
 
 ACCESSES=${STAC_DIFFTEST_ACCESSES:-}
 FUZZ=0
+SURROGATE_ONLY=0
 case "${1:-}" in
 -quick)
     ACCESSES=${ACCESSES:-}
@@ -31,11 +37,14 @@ case "${1:-}" in
     FUZZ=1
     ACCESSES=${ACCESSES:-10000000}
     ;;
+-surrogate)
+    SURROGATE_ONLY=1
+    ;;
 "")
     ACCESSES=${ACCESSES:-10000000}
     ;;
 *)
-    echo "usage: scripts/difftest.sh [-quick|-fuzz]" >&2
+    echo "usage: scripts/difftest.sh [-quick|-fuzz|-surrogate]" >&2
     exit 2
     ;;
 esac
@@ -46,6 +55,24 @@ run() {
 }
 
 export STAC_DIFFTEST_ACCESSES="$ACCESSES"
+
+# Surrogate-vs-simulator sweep: SHARDS estimates against exact Mattson
+# curves, the analytical model against its solo-calibration ground truth,
+# and the surrogate ranking against exhaustive testbed measurement of the
+# Figure-8 grid. Runs standalone with -surrogate and rides along with the
+# full sweep otherwise.
+run_surrogate() {
+    run go test ./internal/mrc/ -count=1 -timeout 20m -v \
+        -run 'TestSampledConvergesAllKernels|TestSampledFullRateMatchesExact|TestSampledDeterministicSeedRegression'
+    run go test ./internal/surrogate/ -count=1 -timeout 30m -v \
+        -run 'TestModelMatchesSoloCalibration|TestFigure8TopKContainsBest|TestValidateTopPlans'
+}
+if [[ "$SURROGATE_ONLY" == 1 ]]; then
+    run_surrogate
+    echo "difftest: surrogate sweep clean"
+    exit 0
+fi
+
 echo "differential access budget per test: ${ACCESSES:-suite default}"
 
 # Randomized-geometry sweeps: single caches and full hierarchies.
@@ -63,6 +90,9 @@ run go test ./internal/oracle/ -count=1 -run 'TestCacheRecorder' -v
 
 # Concurrency stress under the race detector.
 run go test -race ./internal/oracle/ -count=1 -timeout 30m -run 'TestStress'
+
+# Surrogate fast path against the simulator it replaces.
+run_surrogate
 
 if [[ "$FUZZ" == 1 ]]; then
     FUZZTIME=${DIFFTEST_FUZZTIME:-2m}

@@ -42,6 +42,7 @@ import (
 	"stac/internal/policy"
 	"stac/internal/profile"
 	"stac/internal/stats"
+	"stac/internal/surrogate"
 	"stac/internal/testbed"
 	"stac/internal/workload"
 )
@@ -73,6 +74,19 @@ type (
 	Decision = policy.Decision
 	// PairContext describes a deployment for policy selection.
 	PairContext = policy.PairContext
+	// Searcher is the surrogate fast path: SHARDS-sampled miss-ratio
+	// curves + an anchored analytical cache model + the Stage-3 queueing
+	// simulator, ranking thousands of CAT mask plans without touching the
+	// packed simulator.
+	Searcher = surrogate.Searcher
+	// SearchConfig parameterises a Searcher.
+	SearchConfig = surrogate.Config
+	// MaskPlan is one candidate layout + timeout plan.
+	MaskPlan = surrogate.Plan
+	// PlanEvaluation is the surrogate's prediction for one plan.
+	PlanEvaluation = surrogate.Evaluation
+	// ValidatedPlan pairs a prediction with testbed ground truth.
+	ValidatedPlan = surrogate.Validated
 )
 
 // NeverBoost is the timeout value that disables short-term allocation.
@@ -319,6 +333,13 @@ func FindChainPolicy(p *Predictor, scenarios []Scenario) ([]float64, error) {
 func EvaluatePolicy(ctx PairContext, d Decision) ([2]float64, error) {
 	return policy.Speedups(ctx, d)
 }
+
+// NewSearcher builds the surrogate plan searcher: per-kernel miss-ratio
+// curves (exact, SHARDS-sampled, or representative-interval), solo
+// calibration anchors, and the no-sharing baseline prediction. Use
+// EnumeratePlans + Search to rank the exhaustive plan space and Validate
+// to re-measure the top candidates on the full testbed.
+func NewSearcher(cfg SearchConfig) (*Searcher, error) { return surrogate.New(cfg) }
 
 // Baseline allocation approaches from the paper's Figure 8 comparison.
 
