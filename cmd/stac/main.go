@@ -56,6 +56,10 @@ func main() {
 			err = cmdMRC(args[1:])
 		case "search":
 			err = cmdSearch(args[1:])
+		case "serve":
+			err = cmdServe(args[1:])
+		case "loadtest":
+			err = cmdLoadtest(args[1:])
 		case "workloads":
 			err = cmdWorkloads()
 		case "list":
@@ -89,6 +93,8 @@ func usage() {
   stac predict -in <dataset> -model <f> [flags]    predict response time for a scenario
   stac mrc [-accesses N]                           exact LRU miss-ratio curves per workload
   stac search -a <kernel> -b <kernel> [flags]      surrogate sweep of all CAT mask plans
+  stac serve -model <f> -data <f> [flags]          HTTP prediction server with hot reload
+  stac loadtest [-addr url | -model <f> -data <f>] drive a serving stack, report QPS + tails
   stac workloads                                   list the Table 1 benchmark kernels
   stac list                                        list experiment ids
 

@@ -21,8 +21,10 @@ var (
 	pprofAddr   string
 	tracePath   string
 
-	pprofUp   bool
-	traceFile *os.File
+	pprofServer *http.Server
+	pprofLn     net.Listener
+	pprofErr    chan error
+	traceFile   *os.File
 )
 
 func registerObsFlags(fs *flag.FlagSet) {
@@ -39,18 +41,18 @@ func registerObsFlags(fs *flag.FlagSet) {
 // after parsing global flags and each subcommand calls it again after
 // parsing its own, so the flags work in either position.
 func startObs() error {
-	if pprofAddr != "" && !pprofUp {
+	if pprofAddr != "" && pprofServer == nil {
 		ln, err := net.Listen("tcp", pprofAddr)
 		if err != nil {
 			return fmt.Errorf("pprof: %w", err)
 		}
-		pprofUp = true
 		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
-		go func() {
-			// The server lives for the whole process; Serve only returns
-			// on listener failure, which is not worth crashing a run over.
-			_ = http.Serve(ln, nil)
-		}()
+		pprofServer = &http.Server{Handler: http.DefaultServeMux}
+		pprofLn = ln
+		pprofErr = make(chan error, 1)
+		go func(srv *http.Server, ln net.Listener, errc chan error) {
+			errc <- srv.Serve(ln)
+		}(pprofServer, ln, pprofErr)
 	}
 	if tracePath != "" && traceFile == nil {
 		f, err := os.Create(tracePath)
@@ -66,11 +68,20 @@ func startObs() error {
 	return nil
 }
 
-// finishObs stops the runtime trace and writes the metrics snapshot.
-// It runs after the subcommand returns, successfully or not, so partial
-// runs still leave usable diagnostics behind.
+// finishObs shuts down the pprof server, stops the runtime trace and
+// writes the metrics snapshot. It runs after the subcommand returns,
+// successfully or not, so partial runs still leave usable diagnostics
+// behind — and a Serve error that happened mid-run surfaces here
+// instead of being silently swallowed.
 func finishObs() error {
 	var first error
+	if pprofServer != nil {
+		_ = pprofServer.Close()
+		if err := <-pprofErr; err != nil && err != http.ErrServerClosed {
+			first = fmt.Errorf("pprof: %w", err)
+		}
+		pprofServer, pprofLn, pprofErr = nil, nil, nil
+	}
 	if traceFile != nil {
 		trace.Stop()
 		if err := traceFile.Close(); err != nil && first == nil {

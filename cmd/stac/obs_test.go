@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestPprofServerShutsDown covers the observability lifecycle: startObs
+// must bring the pprof endpoint up, finishObs must actually close both
+// the server and its listener (it used to leak them), and the cycle
+// must be repeatable within one process.
+func TestPprofServerShutsDown(t *testing.T) {
+	defer func() {
+		pprofAddr = ""
+		pprofServer, pprofLn, pprofErr = nil, nil, nil
+	}()
+
+	for cycle := 0; cycle < 2; cycle++ {
+		pprofAddr = "127.0.0.1:0"
+		if err := startObs(); err != nil {
+			t.Fatalf("cycle %d: startObs: %v", cycle, err)
+		}
+		if pprofServer == nil || pprofLn == nil {
+			t.Fatalf("cycle %d: pprof server not tracked after startObs", cycle)
+		}
+		addr := pprofLn.Addr().String()
+
+		// Idempotence: a second startObs (the subcommand's call) must
+		// not spawn a second server.
+		srv := pprofServer
+		if err := startObs(); err != nil {
+			t.Fatalf("cycle %d: second startObs: %v", cycle, err)
+		}
+		if pprofServer != srv {
+			t.Fatalf("cycle %d: second startObs replaced the pprof server", cycle)
+		}
+
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr))
+		if err != nil {
+			t.Fatalf("cycle %d: pprof endpoint unreachable: %v", cycle, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cycle %d: pprof status = %d, want 200", cycle, resp.StatusCode)
+		}
+
+		if err := finishObs(); err != nil {
+			t.Fatalf("cycle %d: finishObs: %v", cycle, err)
+		}
+		if pprofServer != nil || pprofLn != nil {
+			t.Fatalf("cycle %d: finishObs left pprof state behind", cycle)
+		}
+		// The listener must be released: dialing the old address now
+		// fails, and rebinding it succeeds.
+		if conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+			conn.Close()
+			t.Fatalf("cycle %d: pprof listener still accepting after finishObs", cycle)
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatalf("cycle %d: could not rebind %s after finishObs: %v", cycle, addr, err)
+		}
+		ln.Close()
+	}
+}

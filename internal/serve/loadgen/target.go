@@ -1,0 +1,91 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"stac/internal/serve"
+)
+
+// EngineTarget drives a serve.Engine in-process — the serving stack
+// minus HTTP, the right target for capacity numbers.
+type EngineTarget struct {
+	Engine *serve.Engine
+}
+
+func (t EngineTarget) Predict(req serve.PredictRequest) (serve.PredictResponse, error) {
+	resp, err := t.Engine.Predict(req)
+	if err != nil {
+		return serve.PredictResponse{}, err
+	}
+	return resp, nil
+}
+
+// HTTPTarget drives a running stac serve instance over its JSON API.
+type HTTPTarget struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+func (t HTTPTarget) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t HTTPTarget) Predict(req serve.PredictRequest) (serve.PredictResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.PredictResponse{}, err
+	}
+	hr, err := t.client().Post(strings.TrimSuffix(t.BaseURL, "/")+"/predict",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.PredictResponse{}, err
+	}
+	defer hr.Body.Close()
+	raw, err := io.ReadAll(hr.Body)
+	if err != nil {
+		return serve.PredictResponse{}, err
+	}
+	if hr.StatusCode != http.StatusOK {
+		var e struct {
+			Error *serve.Error `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != nil {
+			e.Error.Status = hr.StatusCode
+			return serve.PredictResponse{}, e.Error
+		}
+		return serve.PredictResponse{}, fmt.Errorf("loadgen: HTTP %d: %s", hr.StatusCode, raw)
+	}
+	var resp serve.PredictResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return serve.PredictResponse{}, err
+	}
+	return resp, nil
+}
+
+// Services asks the server's /healthz for the loaded model's services —
+// the loadgen config needs them and the HTTP client shouldn't guess.
+func (t HTTPTarget) Services() ([]string, error) {
+	hr, err := t.client().Get(strings.TrimSuffix(t.BaseURL, "/") + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer hr.Body.Close()
+	var h serve.HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	if h.Model == nil || len(h.Model.Services) == 0 {
+		return nil, fmt.Errorf("loadgen: server at %s reports no loaded model", t.BaseURL)
+	}
+	return h.Model.Services, nil
+}

@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stac/internal/obs"
+	"stac/internal/profile"
+)
+
+// stubModel is a deterministic BatchModel that counts invocations and
+// rows, and can block batch calls on a gate for queue-pressure tests.
+type stubModel struct {
+	ea    float64
+	calls atomic.Int64 // PredictBatch invocations
+	rows  atomic.Int64 // total rows across invocations
+	gate  chan struct{}
+}
+
+func (m *stubModel) Predict(features []float64) float64 { return m.ea }
+
+func (m *stubModel) PredictBatch(features [][]float64) []float64 {
+	m.calls.Add(1)
+	m.rows.Add(int64(len(features)))
+	if m.gate != nil {
+		<-m.gate
+	}
+	out := make([]float64, len(features))
+	for i := range out {
+		out[i] = m.ea
+	}
+	return out
+}
+
+// syntheticLibrary builds a tiny in-memory profiling library: enough
+// rows per service for templates, the input builder and the predictor,
+// without running the testbed.
+func syntheticLibrary(t *testing.T) profile.Dataset {
+	t.Helper()
+	schema := profile.DefaultSchema()
+	mk := func(service string, load, timeout, fill float64, cond int) profile.Row {
+		f := make([]float64, schema.NumFeatures())
+		f[0] = load
+		f[1] = timeout
+		f[2] = 0.5
+		f[3] = 2
+		f[4], f[5], f[6], f[7] = 2, 2, 2, 1
+		f[8], f[9], f[10] = 0.2, 0.5, 0.3
+		for i := schema.MatrixOffset(); i < len(f); i++ {
+			f[i] = fill
+		}
+		return profile.Row{
+			Features: f, EA: 0.5, RespMean: 1e-4, RespP95: 2e-4,
+			ExpService: 5e-5, STMean: 6e-5, STCV: 0.4,
+			Service: service, CondID: cond,
+		}
+	}
+	return profile.Dataset{
+		Schema: schema,
+		Rows: []profile.Row{
+			mk("redis", 0.3, 1, 10, 0),
+			mk("redis", 0.9, 1, 90, 1),
+			mk("redis", 0.9, 5, 50, 2),
+			mk("bfs", 0.5, 2, 300, 3),
+			mk("bfs", 0.9, 1, 500, 4),
+		},
+	}
+}
+
+func newTestEngine(t *testing.T, model BatchModel, cfg Config) *Engine {
+	t.Helper()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	e := NewEngine(cfg)
+	t.Cleanup(e.Close)
+	if _, err := e.Install(model, syntheticLibrary(t)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func testRequest() PredictRequest {
+	return PredictRequest{
+		Service: "redis", Load: 0.6, Timeout: 1, PartnerLoad: 0.4, PartnerTimeout: 2,
+	}
+}
+
+func TestEnginePredictAndCache(t *testing.T) {
+	m := &stubModel{ea: 0.7}
+	e := newTestEngine(t, m, Config{})
+
+	r1, serr := e.Predict(testRequest())
+	if serr != nil {
+		t.Fatalf("predict: %v", serr)
+	}
+	if r1.Cached {
+		t.Error("first prediction reported cached")
+	}
+	if r1.EA != 0.7 {
+		t.Errorf("EA = %v, want the stub's 0.7", r1.EA)
+	}
+	if r1.ModelVersion != 1 {
+		t.Errorf("model version = %d, want 1", r1.ModelVersion)
+	}
+
+	r2, serr := e.Predict(testRequest())
+	if serr != nil {
+		t.Fatalf("second predict: %v", serr)
+	}
+	if !r2.Cached {
+		t.Error("identical request missed the prediction cache")
+	}
+	if got := m.rows.Load(); got != 1 {
+		t.Errorf("model saw %d rows, want 1 (cache must absorb the repeat)", got)
+	}
+}
+
+func TestEngineRejectsBadRequests(t *testing.T) {
+	e := newTestEngine(t, &stubModel{ea: 0.5}, Config{})
+	cases := []PredictRequest{
+		{Service: "nosuch", Load: 0.5},
+		{Service: "redis", Load: 0},
+		{Service: "redis", Load: 1.2},
+		{Service: "redis", Load: 0.5, PartnerLoad: 1.5},
+		{Service: "redis", Load: 0.5, Timeout: -1},
+	}
+	for _, req := range cases {
+		if _, serr := e.Predict(req); serr == nil || serr.Code != CodeBadRequest {
+			t.Errorf("request %+v: error %v, want code %s", req, serr, CodeBadRequest)
+		}
+	}
+}
+
+func TestEngineFullPrediction(t *testing.T) {
+	e := newTestEngine(t, &stubModel{ea: 0.5}, Config{})
+	req := testRequest()
+	req.Full = true
+	resp, serr := e.Predict(req)
+	if serr != nil {
+		t.Fatalf("full predict: %v", serr)
+	}
+	if resp.Prediction == nil {
+		t.Fatal("full prediction carries no response-time breakdown")
+	}
+	if resp.Prediction.MeanResponse <= 0 {
+		t.Errorf("mean response = %v, want positive", resp.Prediction.MeanResponse)
+	}
+}
+
+func TestEngineDrainingSheds(t *testing.T) {
+	e := newTestEngine(t, &stubModel{ea: 0.5}, Config{})
+	e.Close()
+	if _, serr := e.Predict(testRequest()); serr == nil || serr.Code != CodeDraining {
+		t.Fatalf("predict on closed engine: %v, want code %s", serr, CodeDraining)
+	}
+}
+
+func TestEngineRateLimitSheds429(t *testing.T) {
+	e := newTestEngine(t, &stubModel{ea: 0.5}, Config{RateLimit: 0.001, RateBurst: 1})
+	if _, serr := e.Predict(testRequest()); serr != nil {
+		t.Fatalf("first request should pass the burst: %v", serr)
+	}
+	_, serr := e.Predict(testRequest())
+	if serr == nil || serr.Code != CodeRateLimited {
+		t.Fatalf("second request: %v, want code %s", serr, CodeRateLimited)
+	}
+	if serr.Status != 429 {
+		t.Errorf("rate-limited status = %d, want 429", serr.Status)
+	}
+}
+
+func TestRegistryReloadDrainsOldVersion(t *testing.T) {
+	r := NewRegistry(2)
+	lib := syntheticLibrary(t)
+	if _, _, err := r.Install(&stubModel{ea: 0.4}, lib); err != nil {
+		t.Fatal(err)
+	}
+	v1 := r.Acquire()
+	if v1 == nil {
+		t.Fatal("no current version after install")
+	}
+
+	_, old, err := r.Install(&stubModel{ea: 0.6}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != v1 {
+		t.Fatal("install did not return the displaced version")
+	}
+	if info, _ := r.Current(); info.Version != 2 {
+		t.Fatalf("current version = %d, want 2", info.Version)
+	}
+
+	// The old version still serves its in-flight holder...
+	select {
+	case <-v1.Drained():
+		t.Fatal("old version drained while a reference was held")
+	default:
+	}
+	// ...and drains, not drops, once released.
+	v1.Release()
+	select {
+	case <-v1.Drained():
+	case <-time.After(time.Second):
+		t.Fatal("old version never drained after the last release")
+	}
+}
+
+func TestBatcherDeadlineExceededBeforeModel(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := &stubModel{ea: 0.5}
+	b := newBatcher(4, 5*time.Millisecond, 16, reg)
+	defer b.close()
+	v := &Version{model: m, drained: make(chan struct{})}
+	v.refs.Store(1)
+
+	_, serr := b.submit(v, []float64{1}, time.Now().Add(-time.Millisecond))
+	if serr == nil || serr.Code != CodeDeadlineExceeded {
+		t.Fatalf("expired submit: %v, want code %s", serr, CodeDeadlineExceeded)
+	}
+	if serr.Status != 504 {
+		t.Errorf("deadline status = %d, want 504", serr.Status)
+	}
+	if got := m.calls.Load(); got != 0 {
+		t.Fatalf("model invoked %d times for an already-expired request, want 0", got)
+	}
+}
+
+func TestBatcherFullQueueSheds503(t *testing.T) {
+	reg := obs.NewRegistry()
+	gate := make(chan struct{})
+	m := &stubModel{ea: 0.5, gate: gate}
+	// maxBatch 1 so the dispatcher flushes (and blocks on the gate)
+	// immediately; queue depth 1 so one waiter fills the queue.
+	b := newBatcher(1, time.Millisecond, 1, reg)
+	v := &Version{model: m, drained: make(chan struct{})}
+	v.refs.Store(1)
+	far := time.Now().Add(time.Minute)
+
+	first := make(chan *Error, 1)
+	go func() {
+		_, serr := b.submit(v, []float64{1}, far)
+		first <- serr
+	}()
+	// Wait for the dispatcher to pull the first request into the model.
+	for m.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	second := make(chan *Error, 1)
+	go func() {
+		_, serr := b.submit(v, []float64{2}, far)
+		second <- serr
+	}()
+	// Wait for the second request to occupy the single queue slot (the
+	// dispatcher is wedged on the gate, so it cannot be consumed); the
+	// third must then shed immediately.
+	for len(b.queue) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	_, serr := b.submit(v, []float64{3}, far)
+	if serr == nil || serr.Code != CodeQueueFull {
+		t.Fatalf("submit on full queue: %v, want code %s", serr, CodeQueueFull)
+	}
+	if serr.Status != 503 {
+		t.Errorf("queue-full status = %d, want 503", serr.Status)
+	}
+
+	close(gate)
+	if serr := <-first; serr != nil {
+		t.Errorf("first request failed: %v", serr)
+	}
+	if serr := <-second; serr != nil {
+		t.Errorf("second request failed: %v", serr)
+	}
+	b.close()
+}
+
+func TestBatcherMaxDelayFlushesSingleWaiter(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := &stubModel{ea: 0.5}
+	maxDelay := 10 * time.Millisecond
+	b := newBatcher(64, maxDelay, 16, reg)
+	defer b.close()
+	v := &Version{model: m, drained: make(chan struct{})}
+	v.refs.Store(1)
+
+	start := time.Now()
+	got, serr := b.submit(v, []float64{1}, time.Now().Add(time.Minute))
+	elapsed := time.Since(start)
+	if serr != nil {
+		t.Fatalf("submit: %v", serr)
+	}
+	if got != 0.5 {
+		t.Errorf("prediction = %v, want 0.5", got)
+	}
+	// A lone waiter must be answered by the max-delay timer, not wait
+	// for a full batch that will never form.
+	if elapsed > 20*maxDelay {
+		t.Errorf("single waiter took %v, max-delay flush (%v) did not fire", elapsed, maxDelay)
+	}
+	if b.flushDelay.Load() == 0 {
+		t.Error("flush_delay counter is zero; the timer path never ran")
+	}
+	if got := m.rows.Load(); got != 1 {
+		t.Errorf("model saw %d rows, want 1", got)
+	}
+}
+
+// TestEngineReloadUnderConcurrentPredicts exercises hot reload against
+// live traffic; run with -race it is the registry's safety proof. Every
+// response must come from a whole, installed version, old versions must
+// drain, and no request may fail.
+func TestEngineReloadUnderConcurrentPredicts(t *testing.T) {
+	lib := syntheticLibrary(t)
+	reg := obs.NewRegistry()
+	e := NewEngine(Config{Obs: reg, MaxDelay: 100 * time.Microsecond, CacheSize: -1})
+	defer e.Close()
+	if _, err := e.Install(&stubModel{ea: 0.5}, lib); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	minVersion := int64(1)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := testRequest()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, serr := e.Predict(req)
+				if serr != nil {
+					failures.Add(1)
+					t.Errorf("predict during reload: %v", serr)
+					return
+				}
+				if v := atomic.LoadInt64(&minVersion); int64(resp.ModelVersion) < v {
+					failures.Add(1)
+					t.Errorf("response from version %d after version %d was installed",
+						resp.ModelVersion, v)
+					return
+				}
+			}
+		}()
+	}
+
+	var olds []*Version
+	for i := 0; i < 10; i++ {
+		_, old, err := e.registry.Install(&stubModel{ea: 0.5}, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		olds = append(olds, old)
+		// A response observed after this point may still come from the
+		// displaced version (acquired before the swap), so the floor
+		// trails the installed version by one.
+		atomic.StoreInt64(&minVersion, int64(i+1))
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	for _, old := range olds {
+		select {
+		case <-old.Drained():
+		case <-time.After(2 * time.Second):
+			t.Fatalf("version %d never drained", old.info.Version)
+		}
+	}
+	if failures.Load() > 0 {
+		t.Fatalf("%d requests failed during hot reloads", failures.Load())
+	}
+}
+
+func TestPredCacheRotationEvicts(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newPredCache(2, reg)
+	k := func(i int32) cacheKey { return cacheKey{load: i} }
+	c.put(k(1), PredictResponse{EA: 1})
+	c.put(k(2), PredictResponse{EA: 2}) // hot full
+	c.put(k(3), PredictResponse{EA: 3}) // rotates: {1,2} cold, {3} hot
+	if _, ok := c.get(k(1)); !ok {
+		t.Error("entry 1 should survive one rotation in the cold generation")
+	}
+	c.put(k(4), PredictResponse{EA: 4})
+	c.put(k(5), PredictResponse{EA: 5}) // rotates again: {3,4} cold
+	if _, ok := c.get(k(1)); ok {
+		t.Error("entry 1 should be gone after two rotations")
+	}
+	if _, ok := c.get(k(3)); !ok {
+		t.Error("entry 3 should survive in the cold generation")
+	}
+}
+
+func TestNoModelLoaded(t *testing.T) {
+	e := NewEngine(Config{Obs: obs.NewRegistry()})
+	defer e.Close()
+	if _, serr := e.Predict(testRequest()); serr == nil || serr.Code != CodeNoModel {
+		t.Fatalf("predict without a model: %v, want code %s", serr, CodeNoModel)
+	}
+}

@@ -8,9 +8,12 @@
 # (the serial floor of every experiment condition) and the internal/mrc +
 # internal/surrogate fast-path benchmarks (MRC ingestion and the
 # surrogate-vs-replay per-plan cost), plus one end-to-end fig6
-# regeneration, and writes BENCH_cache.json, BENCH_forest.json,
-# BENCH_queueing.json and BENCH_mrc.json so successive PRs can compare
-# against a recorded baseline with benchstat or by diffing the JSON.
+# regeneration and a serving loadtest sweep (stac loadtest against an
+# in-process engine: cached capacity, cold batched path, and open-loop
+# tail latency), and writes BENCH_cache.json, BENCH_forest.json,
+# BENCH_queueing.json, BENCH_mrc.json and BENCH_serve.json so successive
+# PRs can compare against a recorded baseline with benchstat or by
+# diffing the JSON.
 # BENCH_mrc.json additionally records surrogate_speedup_vs_replay: the
 # measured ratio of a full testbed replay of one plan (default query
 # count) to one surrogate evaluation — the honest per-plan speedup of
@@ -28,6 +31,7 @@
 #   BENCH_FOREST_OUT  forest output path (default BENCH_forest.json)
 #   BENCH_QUEUE_OUT   testbed/queueing output path (default BENCH_queueing.json)
 #   BENCH_MRC_OUT     mrc/surrogate output path (default BENCH_mrc.json)
+#   BENCH_SERVE_OUT   serving loadtest output path (default BENCH_serve.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,6 +56,7 @@ CACHE_OUT=${BENCH_OUT:-BENCH_cache.json}
 FOREST_OUT=${BENCH_FOREST_OUT:-BENCH_forest.json}
 QUEUE_OUT=${BENCH_QUEUE_OUT:-BENCH_queueing.json}
 MRC_OUT=${BENCH_MRC_OUT:-BENCH_mrc.json}
+SERVE_OUT=${BENCH_SERVE_OUT:-BENCH_serve.json}
 
 # Snapshot the committed baselines before the run overwrites the outputs.
 snapshot_baseline() { # <committed name> -> prints tmp path or nothing
@@ -68,11 +73,13 @@ CACHE_BASELINE=""
 FOREST_BASELINE=""
 QUEUE_BASELINE=""
 MRC_BASELINE=""
+SERVE_BASELINE=""
 if [[ "$COMPARE" == 1 ]]; then
     CACHE_BASELINE=$(snapshot_baseline BENCH_cache.json)
     FOREST_BASELINE=$(snapshot_baseline BENCH_forest.json)
     QUEUE_BASELINE=$(snapshot_baseline BENCH_queueing.json)
     MRC_BASELINE=$(snapshot_baseline BENCH_mrc.json)
+    SERVE_BASELINE=$(snapshot_baseline BENCH_serve.json)
 fi
 
 RAW_CACHE=$(mktemp)
@@ -104,6 +111,26 @@ START=$(date +%s.%N)
 END=$(date +%s.%N)
 FIG6=$(awk -v a="$START" -v b="$END" 'BEGIN { printf "%.3f", b - a }')
 echo "fig6 wall clock: ${FIG6}s"
+
+echo "== serving loadtests (stac loadtest, in-process engine) =="
+if [[ "$MODE" == short ]]; then
+    LOAD_DUR=3s
+    OPEN_QPS=10000
+else
+    LOAD_DUR=10s
+    OPEN_QPS=20000
+fi
+SERVE_DIR=$(mktemp -d)
+trap 'rm -f "$RAW_CACHE" "$RAW_FOREST" "$RAW_QUEUE" "$RAW_MRC"; rm -rf "$SERVE_DIR"' EXIT
+/tmp/stac-bench profile -a redis -b bfs -points 6 -queries 30 -out "$SERVE_DIR/profile.json.gz"
+/tmp/stac-bench train -in "$SERVE_DIR/profile.json.gz" -model "$SERVE_DIR/model.gob"
+/tmp/stac-bench loadtest -model "$SERVE_DIR/model.gob" -data "$SERVE_DIR/profile.json.gz" \
+    -duration "$LOAD_DUR" -warmup 1s -workers 4 -json "$SERVE_DIR/closed_cached.json"
+/tmp/stac-bench loadtest -model "$SERVE_DIR/model.gob" -data "$SERVE_DIR/profile.json.gz" \
+    -duration "$LOAD_DUR" -warmup 1s -workers 16 -nocache -json "$SERVE_DIR/closed_cold.json"
+/tmp/stac-bench loadtest -model "$SERVE_DIR/model.gob" -data "$SERVE_DIR/profile.json.gz" \
+    -duration "$LOAD_DUR" -warmup 1s -mode open -qps "$OPEN_QPS" -workers 32 \
+    -json "$SERVE_DIR/open.json"
 
 GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 GO_VERSION=$(go env GOVERSION)
@@ -179,6 +206,32 @@ emit_json "$RAW_FOREST" "$FOREST_OUT" 0
 emit_json "$RAW_QUEUE" "$QUEUE_OUT" 0
 emit_json "$RAW_MRC" "$MRC_OUT" 0
 
+# BENCH_serve.json: the three loadgen scenarios verbatim, plus the usual
+# metadata. closed_cached is the headline serving capacity (prediction
+# cache hot); closed_cold is the model-bound batched path; open is tail
+# latency at a fixed offered load.
+python3 - "$SERVE_DIR" "$SERVE_OUT" "$MODE" "$GIT_REV" "$GO_VERSION" <<'PYEOF'
+import json
+import sys
+import time
+
+d, out, mode, git_rev, go_version = sys.argv[1:6]
+doc = {
+    "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "git": git_rev,
+    "go": go_version,
+    "mode": mode,
+    "loadgen": {
+        name: json.load(open(f"{d}/{name}.json"))
+        for name in ("closed_cached", "closed_cold", "open")
+    },
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+PYEOF
+
 # --compare: render the per-benchmark delta tables. ns/op compares the
 # per-benchmark minimum (least scheduler noise); memory columns only show
 # when they changed. Informational only — the CI bench job is non-blocking.
@@ -229,3 +282,40 @@ compare_json "$CACHE_BASELINE" "$CACHE_OUT" BENCH_cache.json
 compare_json "$FOREST_BASELINE" "$FOREST_OUT" BENCH_forest.json
 compare_json "$QUEUE_BASELINE" "$QUEUE_OUT" BENCH_queueing.json
 compare_json "$MRC_BASELINE" "$MRC_OUT" BENCH_mrc.json
+
+# compare_serve_json renders the loadgen delta table: achieved QPS and
+# p99 per scenario. Higher QPS is better (positive delta), lower p99 is
+# better (negative delta) — unlike the ns/op tables above.
+compare_serve_json() { # <baseline tmp> <current out>
+    local baseline=$1 current=$2
+    [[ -n "$baseline" ]] || return 0
+    echo
+    echo "== delta vs committed baseline (HEAD:BENCH_serve.json) =="
+    python3 - "$baseline" "$current" <<'PYEOF'
+import json
+import sys
+
+base = json.load(open(sys.argv[1]))
+cur = json.load(open(sys.argv[2]))
+bl, cl = base.get("loadgen", {}), cur.get("loadgen", {})
+
+print(f"baseline: {base.get('git', '?')} ({base.get('go', '?')}, {base.get('mode', '?')} mode)")
+print(f"current:  {cur.get('git', '?')} ({cur.get('go', '?')}, {cur.get('mode', '?')} mode)")
+print()
+print("| scenario | baseline qps | current qps | qps delta | baseline p99 ms | current p99 ms | p99 delta |")
+print("|---|---|---|---|---|---|---|")
+for name in sorted(set(bl) | set(cl)):
+    b, c = bl.get(name), cl.get(name)
+    if b is None or c is None:
+        status = "added" if b is None else "removed"
+        print(f"| {name} | — | — | {status} | — | — | |")
+        continue
+    dq = (c["qps"] - b["qps"]) / b["qps"] * 100 if b["qps"] else 0.0
+    dp = (c["p99_ms"] - b["p99_ms"]) / b["p99_ms"] * 100 if b["p99_ms"] else 0.0
+    print(f"| {name} | {b['qps']:.0f} | {c['qps']:.0f} | {dq:+.1f}% "
+          f"| {b['p99_ms']:.3f} | {c['p99_ms']:.3f} | {dp:+.1f}% |")
+PYEOF
+    rm -f "$baseline"
+}
+
+compare_serve_json "$SERVE_BASELINE" "$SERVE_OUT"
