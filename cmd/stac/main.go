@@ -60,6 +60,8 @@ func main() {
 			err = cmdServe(args[1:])
 		case "loadtest":
 			err = cmdLoadtest(args[1:])
+		case "fleet":
+			err = cmdFleet(args[1:])
 		case "workloads":
 			err = cmdWorkloads()
 		case "list":
@@ -95,6 +97,7 @@ func usage() {
   stac search -a <kernel> -b <kernel> [flags]      surrogate sweep of all CAT mask plans
   stac serve -model <f> -data <f> [flags]          HTTP prediction server with hot reload
   stac loadtest [-addr url | -model <f> -data <f>] drive a serving stack, report QPS + tails
+  stac fleet [-scenario s] [-policy p] [flags]     simulate a multi-node fleet with routed traffic
   stac workloads                                   list the Table 1 benchmark kernels
   stac list                                        list experiment ids
 

@@ -1,0 +1,313 @@
+// Package fleet simulates a cluster of testbed machines serving routed
+// traffic: N heterogeneous nodes (per-node core counts, LLC geometry,
+// CAT plan), a request router with pluggable policies, and a
+// model-driven migrator that moves services between nodes when the
+// queueing model predicts a p95 SLA miss.
+//
+// The simulation is epoch-based, in the spirit of representative-
+// interval cache simulation: time is divided into fixed-length epochs;
+// each epoch the fleet (1) generates every service's arrivals from its
+// per-epoch rate profile, (2) routes each query to a hosting node in
+// global arrival order — a sequential, deterministic pass, so routing
+// policies that read router state (least-loaded, power-of-two-choices)
+// stay reproducible — and (3) executes each node's routed schedule on a
+// full testbed.Machine via ServiceSpec.Schedule injection. Per-node
+// runs are independent within an epoch, so they shard over internal/par
+// with pre-assigned seeds and results are bit-identical at any worker
+// count (TestFleetWorkerInvariant). Between epochs the migrator
+// consults a queueing model fed by measured per-node service times and
+// relocates services predicted to miss their SLA, paying an explicit
+// cold-cache demand penalty on the destination.
+//
+// Each epoch's machines start cold (the interval approximation — cache
+// state does not persist across epochs); locality-aware routing instead
+// reads warmth from the previous epoch's terminal LLC occupancy
+// (Machine.Snapshot), and migration adds the cold penalty on top.
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"stac/internal/cat"
+	"stac/internal/stats"
+	"stac/internal/testbed"
+	"stac/internal/workload"
+)
+
+// NodeSpec describes one machine of the fleet.
+type NodeSpec struct {
+	// Name identifies the node in results, placements and scenarios.
+	Name string
+	// Processor is the node's simulated hardware (core count, LLC
+	// geometry, memory bandwidth cap).
+	Processor testbed.Processor
+	// CoresPerService is the node's per-service core provision
+	// (default 2, the paper's setting).
+	CoresPerService int
+	// PrivateWays/SharedWays define the node's chain CAT plan
+	// (defaults 2/2). A rolling plan rollout overrides these per epoch.
+	PrivateWays int
+	SharedWays  int
+}
+
+// maxServices returns how many services the node can host under the
+// given CAT plan: bounded by cores and by chain-layout fit.
+func (n NodeSpec) maxServices(priv, shared int) int {
+	byCores := n.Processor.Cores / n.CoresPerService
+	byWays := 0
+	for k := 1; k <= byCores; k++ {
+		if k*priv+(k-1)*shared <= n.Processor.Ways {
+			byWays = k
+		}
+	}
+	return byWays
+}
+
+// ServiceSpec describes one fleet-wide service.
+type ServiceSpec struct {
+	// Kernel is the workload (Table 1 or a trace-derived kernel).
+	Kernel workload.Kernel
+	// Load is the target per-replica utilisation ρ at rate multiplier 1:
+	// the fleet-wide arrival rate is Load × (aggregate cores the initial
+	// placement provisions) / expected solo service time (calibrated on
+	// the reference node). Migration onto a better-provisioned node
+	// lowers the realised utilisation — the capacity heterogeneity the
+	// migrator exploits.
+	Load float64
+	// Timeout is the per-node short-term allocation timeout relative to
+	// expected service time (testbed semantics; default NeverBoost).
+	Timeout float64
+	// SLAFactor sets the p95 SLA as a multiple of the service's solo
+	// expected service time (default 12). The migrator acts when the
+	// model predicts the next epoch's p95 above this.
+	SLAFactor float64
+	// Replicas is how many nodes host the service (default 1). The
+	// router spreads queries over the hosting replicas.
+	Replicas int
+	// Nodes optionally pins the initial placement to named nodes
+	// (len == Replicas). Empty: the planner spreads replicas onto the
+	// least-occupied nodes.
+	Nodes []string
+	// RateProfile multiplies the arrival rate per epoch (diurnal
+	// cycles, flash crowds). Epochs beyond the profile reuse its last
+	// entry; nil is a flat 1.0.
+	RateProfile []float64
+}
+
+// rateAt returns the service's rate multiplier for an epoch.
+func (s ServiceSpec) rateAt(epoch int) float64 {
+	if len(s.RateProfile) == 0 {
+		return 1
+	}
+	if epoch >= len(s.RateProfile) {
+		return s.RateProfile[len(s.RateProfile)-1]
+	}
+	return s.RateProfile[epoch]
+}
+
+// Rollout describes a rolling CAT-plan change: starting at StartEpoch,
+// one node per epoch (in node order) switches to the new plan.
+type Rollout struct {
+	StartEpoch  int
+	PrivateWays int
+	SharedWays  int
+}
+
+// Config parameterises one fleet run.
+type Config struct {
+	Nodes    []NodeSpec
+	Services []ServiceSpec
+	// Policy selects the request router (default RoundRobin).
+	Policy Policy
+	// Epochs is the number of simulation epochs (default 6).
+	Epochs int
+	// EpochQueries sizes the epoch: the epoch length is chosen so the
+	// slowest-arriving service receives about this many queries at rate
+	// multiplier 1 (default 60).
+	EpochQueries int
+	// EpochLen overrides the derived epoch length (simulated seconds).
+	EpochLen float64
+	// Migrate enables the model-driven migrator.
+	Migrate bool
+	// ColdPenalty inflates a migrated service's per-query demand on its
+	// new node, decaying linearly over ColdQueries queries (defaults
+	// 1.4 over 24 queries): the cold-cache warmup cost of moving.
+	ColdPenalty float64
+	ColdQueries int
+	// DrainNode, when set, drains the named node starting at DrainEpoch:
+	// the router stops sending to it and every hosted service is force-
+	// migrated away (reason "drain").
+	DrainNode  string
+	DrainEpoch int
+	// Rollout, when non-nil, rolls the new CAT plan across nodes one
+	// epoch at a time.
+	Rollout *Rollout
+	// Workers bounds the per-epoch node fan-out (<= 0: GOMAXPROCS).
+	// Results are identical at any worker count.
+	Workers int
+	// Seed drives every random stream in the run.
+	Seed uint64
+}
+
+// Defaults fills zero-valued fields and returns the result.
+func (c Config) Defaults() Config {
+	if c.Epochs == 0 {
+		c.Epochs = 6
+	}
+	if c.EpochQueries == 0 {
+		c.EpochQueries = 60
+	}
+	if c.ColdPenalty == 0 {
+		c.ColdPenalty = 1.4
+	}
+	if c.ColdQueries == 0 {
+		c.ColdQueries = 24
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	for i := range c.Nodes {
+		if c.Nodes[i].CoresPerService == 0 {
+			c.Nodes[i].CoresPerService = 2
+		}
+		if c.Nodes[i].PrivateWays == 0 {
+			c.Nodes[i].PrivateWays = 2
+		}
+		if c.Nodes[i].SharedWays == 0 {
+			c.Nodes[i].SharedWays = 2
+		}
+		if c.Nodes[i].Name == "" {
+			c.Nodes[i].Name = fmt.Sprintf("node%d", i)
+		}
+	}
+	for i := range c.Services {
+		if c.Services[i].Load == 0 {
+			c.Services[i].Load = 0.7
+		}
+		if c.Services[i].Timeout == 0 {
+			c.Services[i].Timeout = testbed.NeverBoost
+		}
+		if c.Services[i].SLAFactor == 0 {
+			c.Services[i].SLAFactor = 12
+		}
+		if c.Services[i].Replicas == 0 {
+			c.Services[i].Replicas = 1
+		}
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("fleet: no nodes")
+	}
+	if len(c.Services) == 0 {
+		return fmt.Errorf("fleet: no services")
+	}
+	names := map[string]bool{}
+	for i, n := range c.Nodes {
+		if names[n.Name] {
+			return fmt.Errorf("fleet: duplicate node name %q", n.Name)
+		}
+		names[n.Name] = true
+		if err := n.Processor.Validate(); err != nil {
+			return fmt.Errorf("fleet: node %q: %w", n.Name, err)
+		}
+		if n.maxServices(n.PrivateWays, n.SharedWays) < 1 {
+			return fmt.Errorf("fleet: node %q cannot host any service under plan [%d|%d]",
+				n.Name, n.PrivateWays, n.SharedWays)
+		}
+		if c.Rollout != nil && n.maxServices(c.Rollout.PrivateWays, c.Rollout.SharedWays) < 1 {
+			return fmt.Errorf("fleet: node %q cannot host any service under rollout plan [%d|%d]",
+				n.Name, c.Rollout.PrivateWays, c.Rollout.SharedWays)
+		}
+		_ = i
+	}
+	total := 0
+	for i, s := range c.Services {
+		if s.Load <= 0 || s.Load >= 1 {
+			return fmt.Errorf("fleet: service %d load %v outside (0,1)", i, s.Load)
+		}
+		if s.Replicas < 1 || s.Replicas > len(c.Nodes) {
+			return fmt.Errorf("fleet: service %d replicas %d outside [1,%d]", i, s.Replicas, len(c.Nodes))
+		}
+		if s.Nodes != nil && len(s.Nodes) != s.Replicas {
+			return fmt.Errorf("fleet: service %d pins %d nodes for %d replicas", i, len(s.Nodes), s.Replicas)
+		}
+		for _, nm := range s.Nodes {
+			if !names[nm] {
+				return fmt.Errorf("fleet: service %d pinned to unknown node %q", i, nm)
+			}
+		}
+		total += s.Replicas
+	}
+	cap := 0
+	for _, n := range c.Nodes {
+		cap += n.maxServices(n.PrivateWays, n.SharedWays)
+	}
+	if total > cap {
+		return fmt.Errorf("fleet: %d replicas exceed fleet capacity %d", total, cap)
+	}
+	if c.DrainNode != "" && !names[c.DrainNode] {
+		return fmt.Errorf("fleet: drain node %q unknown", c.DrainNode)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("fleet: non-positive epochs")
+	}
+	if c.ColdPenalty < 1 {
+		return fmt.Errorf("fleet: cold penalty %v below 1", c.ColdPenalty)
+	}
+	return nil
+}
+
+// nodePlan returns the node's CAT plan at an epoch, applying any
+// rollout: starting at Rollout.StartEpoch, node i switches in epoch
+// StartEpoch+i.
+func (c Config) nodePlan(epoch, node int) (priv, shared int) {
+	n := c.Nodes[node]
+	if r := c.Rollout; r != nil && epoch >= r.StartEpoch+node {
+		return r.PrivateWays, r.SharedWays
+	}
+	return n.PrivateWays, n.SharedWays
+}
+
+// layoutFits reports whether k services fit the node's chain plan.
+func layoutFits(n NodeSpec, priv, shared, k int) bool {
+	if k*n.CoresPerService > n.Processor.Cores {
+		return false
+	}
+	_, err := cat.PlanChain(n.Processor.Ways, k, priv, shared)
+	return err == nil
+}
+
+// refCalibration returns the service's solo expected service time on
+// the reference node (node 0) under a default-width private span — the
+// quantity that converts Load into a fleet-wide arrival rate and
+// anchors SLAs, independent of where the service currently runs.
+func refCalibration(cfg Config, svc int) (float64, error) {
+	n := cfg.Nodes[0]
+	mask := cat.Setting{Offset: 0, Length: n.PrivateWays}.Mask()
+	return testbed.CalibrateServiceTime(n.Processor, cfg.Services[svc].Kernel, mask,
+		uint64(svc+1)<<32, cfg.Seed+uint64(svc)*7919)
+}
+
+// serviceCV estimates a service's demand-driven service-time CV for the
+// migrator's queueing model, from a fixed 512-draw sample.
+func serviceCV(k workload.Kernel, seed uint64) float64 {
+	r := stats.NewRNG(seed)
+	var sum, sq float64
+	const draws = 512
+	for i := 0; i < draws; i++ {
+		d := k.Demand.Sample(r)
+		sum += d
+		sq += d * d
+	}
+	mean := sum / draws
+	varc := sq/draws - mean*mean
+	if mean <= 0 || varc <= 0 {
+		return 0.3
+	}
+	return math.Sqrt(varc) / mean
+}

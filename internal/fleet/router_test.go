@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"testing"
+
+	"stac/internal/stats"
+	"stac/internal/testbed"
+	"stac/internal/workload"
+)
+
+// balanceConfig is a routing-heavy fleet: three identical nodes, every
+// service replicated everywhere, so the router alone decides the load
+// split. Arrival RNG streams are per-service and independent of the
+// router, so every policy sees the identical query sequence — the
+// metamorphic setup the balancing properties rely on.
+func balanceConfig(seed uint64, p Policy) Config {
+	n := func(name string) NodeSpec { return NodeSpec{Name: name, Processor: testbed.Xeon2650()} }
+	return Config{
+		Nodes: []NodeSpec{n("a"), n("b"), n("c")},
+		Services: []ServiceSpec{
+			{Kernel: workload.Redis(), Load: 0.55, Replicas: 3},
+			{Kernel: workload.Social(), Load: 0.5, Replicas: 3},
+			{Kernel: workload.KNN(), Load: 0.5, Replicas: 3},
+		},
+		Policy: p, Epochs: 3, EpochQueries: 40, Seed: seed, Workers: 2,
+	}
+}
+
+func peakBacklog(r *Result) float64 {
+	m := 0.0
+	for _, n := range r.Nodes {
+		if n.MaxBacklog > m {
+			m = n.MaxBacklog
+		}
+	}
+	return m
+}
+
+// TestPowerOfTwoBeatsRoundRobinMaxLoad is the classic balls-in-bins
+// property, oracle-style: round-robin is blind to per-query work, so
+// power-of-two-choices — which compares the fluid backlog of two
+// sampled nodes — must achieve a lower peak node load in aggregate
+// across seeds, and must never lose badly on any single seed.
+func TestPowerOfTwoBeatsRoundRobinMaxLoad(t *testing.T) {
+	var sumRR, sumP2C float64
+	for seed := uint64(1); seed <= 8; seed++ {
+		rr, err := Run(balanceConfig(seed, RoundRobin))
+		if err != nil {
+			t.Fatalf("seed %d round-robin: %v", seed, err)
+		}
+		p2c, err := Run(balanceConfig(seed, PowerOfTwo))
+		if err != nil {
+			t.Fatalf("seed %d p2c: %v", seed, err)
+		}
+		if rr.Queries != p2c.Queries {
+			t.Fatalf("seed %d: policies saw different arrival streams (%d vs %d queries) — metamorphic setup broken",
+				seed, rr.Queries, p2c.Queries)
+		}
+		mRR, mP2C := peakBacklog(rr), peakBacklog(p2c)
+		// P2C is randomised: a single seed may lose to RR, but never by
+		// much — its peak is capped near RR's by construction.
+		if mP2C > mRR*1.25 {
+			t.Errorf("seed %d: p2c peak backlog %.4g far above round-robin %.4g", seed, mP2C, mRR)
+		}
+		sumRR += mRR
+		sumP2C += mP2C
+	}
+	if sumP2C >= sumRR {
+		t.Errorf("aggregate p2c peak backlog %.4g not below round-robin %.4g across seeds", sumP2C, sumRR)
+	}
+}
+
+// TestLeastLoadedNeverWorseThanRoundRobin: the greedy minimum-backlog
+// pick sees exactly the metric being scored, so its peak backlog must
+// not exceed round-robin's beyond float-ordering noise.
+func TestLeastLoadedNeverWorseThanRoundRobin(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rr, err := Run(balanceConfig(seed, RoundRobin))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ll, err := Run(balanceConfig(seed, LeastLoaded))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m, want := peakBacklog(ll), peakBacklog(rr)*1.05; m > want {
+			t.Errorf("seed %d: least-loaded peak backlog %.4g above round-robin %.4g", seed, m, peakBacklog(rr))
+		}
+	}
+}
+
+// TestLocalityOnlyPicksEligibleNodes drives the router unit directly
+// with adversarial warmth vectors: the warmest node in the cluster is
+// never eligible, and the router must still route within the eligible
+// set every time.
+func TestLocalityOnlyPicksEligibleNodes(t *testing.T) {
+	cfg := balanceConfig(1, Locality).Defaults()
+	r := newRouter(cfg, stats.NewRNG(7))
+	rng := stats.NewRNG(99)
+	eligibleSets := [][]int{{0}, {1}, {0, 2}, {1, 2}, {0, 1}}
+	for i := 0; i < 500; i++ {
+		eligible := eligibleSets[rng.Intn(len(eligibleSets))]
+		warmth := make([]float64, 3)
+		for n := range warmth {
+			warmth[n] = rng.Float64() * 100
+		}
+		// Make an ineligible node the warmest overall.
+		for n := range warmth {
+			if !containsInt(eligible, n) {
+				warmth[n] = 1e9
+			}
+		}
+		pick := r.route(0, float64(i)*1e-5, eligible, warmth, 1e-5)
+		if !containsInt(eligible, pick) {
+			t.Fatalf("iteration %d: locality routed to node %d outside eligible set %v", i, pick, eligible)
+		}
+	}
+}
+
+// TestLocalityFleetNeverRoutesToNonHost checks the property end to end:
+// in a full scenario run under the locality policy, every query a node
+// received belongs to a service actually placed there.
+func TestLocalityFleetNeverRoutesToNonHost(t *testing.T) {
+	cfg := ScenarioStatic(3)
+	cfg.Policy = Locality
+	cfg.Workers = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := map[string]map[string]bool{}
+	for _, s := range res.Services {
+		hosts[s.Name] = map[string]bool{}
+		for _, n := range s.FinalNodes {
+			hosts[s.Name][n] = true
+		}
+	}
+	for _, n := range res.Nodes {
+		for svc, count := range n.Routed {
+			if count > 0 && !hosts[svc][n.Name] {
+				t.Errorf("node %s received %d queries for service %s it does not host", n.Name, count, svc)
+			}
+		}
+	}
+}
+
+// TestRoundRobinSpreadsEvenly pins the cursor behaviour: counts per
+// eligible node differ by at most one.
+func TestRoundRobinSpreadsEvenly(t *testing.T) {
+	cfg := balanceConfig(1, RoundRobin).Defaults()
+	r := newRouter(cfg, stats.NewRNG(7))
+	eligible := []int{0, 1, 2}
+	warmth := make([]float64, 3)
+	for i := 0; i < 301; i++ {
+		r.route(0, float64(i)*1e-5, eligible, warmth, 1e-5)
+	}
+	min, max := r.picks[0][0], r.picks[0][0]
+	for _, c := range r.picks[0] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("round-robin counts %v differ by more than one", r.picks[0])
+	}
+}
+
+// TestPolicyByName round-trips every policy name and rejects garbage.
+func TestPolicyByName(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := PolicyByName(p.String())
+		if err != nil || got != p {
+			t.Errorf("PolicyByName(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := PolicyByName("coin-flip"); err == nil {
+		t.Error("PolicyByName accepted an unknown policy")
+	}
+}

@@ -1,0 +1,469 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"stac/internal/obs"
+	"stac/internal/par"
+	"stac/internal/stats"
+	"stac/internal/testbed"
+	"stac/internal/workload"
+)
+
+var (
+	fleetRuns       = obs.C("fleet/runs")
+	fleetEpochsDone = obs.C("fleet/epochs")
+	fleetRouted     = obs.C("fleet/queries_routed")
+	fleetMigrations = obs.C("fleet/migrations")
+	fleetNodeRuns   = obs.C("fleet/node_runs")
+	fleetTruncated  = obs.C("fleet/truncated_runs")
+)
+
+// state carries a fleet run between epochs.
+type state struct {
+	cfg     Config
+	svcName []string // unique display names (kernel name, suffixed on collision)
+
+	// Per-service invariants, fixed at setup.
+	expRef     []float64 // reference solo service time (node 0, default span)
+	demandMean []float64
+	cv         []float64 // demand CV for the migrator's queueing model
+	rate       []float64 // fleet-wide arrival rate at multiplier 1
+	sla        []float64 // p95 target: SLAFactor × expRef
+
+	// Mutable cluster state.
+	placement [][]int     // [svc] sorted hosting node indices
+	draining  []bool      // [node]
+	warmth    [][]float64 // [svc][node] LLC occupancy lines after last epoch
+	cold      [][]int     // [node][svc] remaining cold-penalty queries
+	meas      [][]float64 // [svc][node] last-epoch mean measured service time
+	share     [][]float64 // [svc][node] last-epoch routed traffic share
+
+	// Streams. Arrival RNGs are per-service and never consulted by the
+	// router or migrator, so routing policy and migration decisions are
+	// metamorphic: every policy sees the identical arrival stream.
+	svcRNG  []*stats.RNG
+	seedRNG *stats.RNG // per-(epoch,node) machine seeds, drawn sequentially
+	router  *router
+	qid     []int // per-service query id counter
+
+	epochLen float64
+
+	// Accumulators.
+	respAll     []float64
+	respByEpoch [][]float64
+	respByNode  [][]float64
+	respBySvc   [][]float64
+	epochSvcP95 [][]float64 // [svc][epoch]
+	migrations  []MigrationEvent
+	migCount    []int // per-service
+	truncated   int
+}
+
+func newState(cfg Config) (*state, error) {
+	nn, ns := len(cfg.Nodes), len(cfg.Services)
+	st := &state{
+		cfg:         cfg,
+		svcName:     make([]string, ns),
+		expRef:      make([]float64, ns),
+		demandMean:  make([]float64, ns),
+		cv:          make([]float64, ns),
+		rate:        make([]float64, ns),
+		sla:         make([]float64, ns),
+		placement:   make([][]int, ns),
+		draining:    make([]bool, nn),
+		warmth:      make([][]float64, ns),
+		cold:        make([][]int, nn),
+		meas:        make([][]float64, ns),
+		share:       make([][]float64, ns),
+		svcRNG:      make([]*stats.RNG, ns),
+		qid:         make([]int, ns),
+		respByEpoch: make([][]float64, cfg.Epochs),
+		respByNode:  make([][]float64, nn),
+		respBySvc:   make([][]float64, ns),
+		epochSvcP95: make([][]float64, ns),
+		migCount:    make([]int, ns),
+	}
+	kernelCount := map[string]int{}
+	for _, s := range cfg.Services {
+		kernelCount[s.Kernel.Name]++
+	}
+	root := stats.NewRNG(cfg.Seed)
+	st.router = newRouter(cfg, root.Split())
+	st.seedRNG = root.Split()
+	for i, s := range cfg.Services {
+		st.svcName[i] = s.Kernel.Name
+		if kernelCount[s.Kernel.Name] > 1 {
+			st.svcName[i] = fmt.Sprintf("%s-%d", s.Kernel.Name, i)
+		}
+		exp, err := refCalibration(cfg, i)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: calibrating %s: %w", st.svcName[i], err)
+		}
+		st.expRef[i] = exp
+		st.demandMean[i] = s.Kernel.Demand.Mean()
+		st.cv[i] = serviceCV(s.Kernel, cfg.Seed+uint64(i)*6151+13)
+		st.sla[i] = s.SLAFactor * exp
+		st.warmth[i] = make([]float64, nn)
+		st.meas[i] = make([]float64, nn)
+		st.share[i] = make([]float64, nn)
+		st.epochSvcP95[i] = make([]float64, 0, cfg.Epochs)
+		st.svcRNG[i] = root.Split()
+	}
+	for n := range cfg.Nodes {
+		st.cold[n] = make([]int, ns)
+	}
+	if err := st.place(); err != nil {
+		return nil, err
+	}
+	// Load is per-replica utilisation at rate multiplier 1, anchored to
+	// the initial placement's aggregate core provision: a replica on a
+	// node that provisions more cores per service absorbs proportionally
+	// more traffic.
+	for i, s := range cfg.Services {
+		cores := 0
+		for _, n := range st.placement[i] {
+			cores += cfg.Nodes[n].CoresPerService
+		}
+		st.rate[i] = s.Load * float64(cores) / st.expRef[i]
+	}
+	st.epochLen = cfg.EpochLen
+	if st.epochLen == 0 {
+		for i := range cfg.Services {
+			if l := float64(cfg.EpochQueries) / st.rate[i]; l > st.epochLen {
+				st.epochLen = l
+			}
+		}
+	}
+	return st, nil
+}
+
+// place computes the initial placement: pinned services go to their
+// named nodes; the rest spread over the least-occupied feasible nodes.
+func (st *state) place() error {
+	hosted := make([]int, len(st.cfg.Nodes))
+	nodeIdx := map[string]int{}
+	for i, n := range st.cfg.Nodes {
+		nodeIdx[n.Name] = i
+	}
+	for i, s := range st.cfg.Services {
+		for _, nm := range s.Nodes {
+			n := nodeIdx[nm]
+			st.placement[i] = append(st.placement[i], n)
+			hosted[n]++
+		}
+	}
+	for i, s := range st.cfg.Services {
+		for len(st.placement[i]) < s.Replicas {
+			best := -1
+			for n, spec := range st.cfg.Nodes {
+				if containsInt(st.placement[i], n) {
+					continue
+				}
+				priv, shared := st.cfg.nodePlan(0, n)
+				if !layoutFits(spec, priv, shared, hosted[n]+1) {
+					continue
+				}
+				if best < 0 || hosted[n] < hosted[best] {
+					best = n
+				}
+			}
+			if best < 0 {
+				return fmt.Errorf("fleet: no feasible node for service %s replica %d",
+					st.svcName[i], len(st.placement[i]))
+			}
+			st.placement[i] = append(st.placement[i], best)
+			hosted[best]++
+		}
+		sort.Ints(st.placement[i])
+	}
+	return nil
+}
+
+// Run executes the fleet simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := newState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer obs.Span("fleet/run")()
+	fleetRuns.Inc()
+	for e := 0; e < cfg.Epochs; e++ {
+		if err := st.epoch(e); err != nil {
+			return nil, err
+		}
+	}
+	return st.finish(), nil
+}
+
+// arrival is one generated query awaiting its routing decision.
+type arrival struct {
+	svc int
+	q   workload.Query
+}
+
+func (st *state) epoch(e int) error {
+	defer obs.Span("fleet/epoch")()
+	fleetEpochsDone.Inc()
+
+	// Drain takes effect at the start of its epoch: the node stops
+	// receiving traffic and its services are force-migrated first.
+	if st.cfg.DrainNode != "" && e == st.cfg.DrainEpoch {
+		if err := st.drain(e); err != nil {
+			return err
+		}
+	}
+
+	// 1. Generate every service's arrivals for this epoch from its
+	// persistent stream (rate multiplier applied per epoch).
+	arrivals := make([][]arrival, len(st.cfg.Services))
+	for i, s := range st.cfg.Services {
+		r := st.rate[i] * s.rateAt(e)
+		if r <= 0 {
+			continue
+		}
+		inter := stats.Exponential{Rate: r}
+		t := 0.0
+		for {
+			t += inter.Sample(st.svcRNG[i])
+			if t >= st.epochLen {
+				break
+			}
+			acc := int(st.cfg.Services[i].Kernel.Demand.Sample(st.svcRNG[i]))
+			if acc < 1 {
+				acc = 1
+			}
+			arrivals[i] = append(arrivals[i], arrival{
+				svc: i,
+				q:   workload.Query{ID: st.qid[i], Arrival: t, Accesses: acc},
+			})
+			st.qid[i]++
+		}
+	}
+
+	// 2. Route in global arrival order (k-way merge, ties to the lower
+	// service index) — a single deterministic sequential pass.
+	sched := make([][][]workload.Query, len(st.cfg.Nodes))
+	for n := range sched {
+		sched[n] = make([][]workload.Query, len(st.cfg.Services))
+	}
+	epochRouted := make([][]int, len(st.cfg.Services))
+	for i := range epochRouted {
+		epochRouted[i] = make([]int, len(st.cfg.Nodes))
+	}
+	pos := make([]int, len(st.cfg.Services))
+	routed := 0
+	for {
+		best := -1
+		for i := range arrivals {
+			if pos[i] >= len(arrivals[i]) {
+				continue
+			}
+			if best < 0 || arrivals[i][pos[i]].q.Arrival < arrivals[best][pos[best]].q.Arrival {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		a := arrivals[best][pos[best]]
+		pos[best]++
+		work := st.expRef[a.svc] * float64(a.q.Accesses) / st.demandMean[a.svc]
+		n := st.router.route(a.svc, a.q.Arrival, st.placement[a.svc], st.warmth[a.svc], work)
+		if c := st.cold[n][a.svc]; c > 0 {
+			// Cold-cache warmup: inflate demand, decaying linearly over
+			// the first ColdQueries queries on the new node.
+			factor := 1 + (st.cfg.ColdPenalty-1)*float64(c)/float64(st.cfg.ColdQueries)
+			a.q.Accesses = int(float64(a.q.Accesses) * factor)
+			st.cold[n][a.svc] = c - 1
+		}
+		sched[n][a.svc] = append(sched[n][a.svc], a.q)
+		epochRouted[a.svc][n]++
+		routed++
+	}
+	fleetRouted.Add(uint64(routed))
+
+	// 3. Build per-node conditions and run the machines in parallel.
+	// Seeds are drawn sequentially for every node (even skipped ones) so
+	// the stream stays aligned regardless of which nodes run.
+	type nodeRun struct {
+		cond    testbed.Condition
+		hosted  []int
+		res     *testbed.RunResult
+		snap    testbed.Snapshot
+		queries int
+	}
+	runs := make([]*nodeRun, len(st.cfg.Nodes))
+	for n, spec := range st.cfg.Nodes {
+		seed := st.seedRNG.Uint64()
+		var hosted []int
+		queries := 0
+		for i := range st.cfg.Services {
+			if containsInt(st.placement[i], n) {
+				hosted = append(hosted, i)
+				queries += len(sched[n][i])
+			}
+		}
+		if len(hosted) == 0 || queries == 0 {
+			continue
+		}
+		priv, shared := st.cfg.nodePlan(e, n)
+		cond := testbed.Condition{
+			Processor:       spec.Processor,
+			PrivateWays:     priv,
+			SharedWays:      shared,
+			CoresPerService: spec.CoresPerService,
+			Seed:            seed,
+			CalibrationSeed: st.cfg.Seed + uint64(n)*104729 + 1,
+		}
+		for _, i := range hosted {
+			qs := sched[n][i]
+			if qs == nil {
+				qs = []workload.Query{}
+			}
+			cond.Services = append(cond.Services, testbed.ServiceSpec{
+				Kernel:   st.cfg.Services[i].Kernel,
+				Timeout:  st.cfg.Services[i].Timeout,
+				Schedule: qs,
+			})
+		}
+		runs[n] = &nodeRun{cond: cond.Defaults(), hosted: hosted, queries: queries}
+	}
+	err := par.ForEach(st.cfg.Workers, len(runs), func(n int) error {
+		nr := runs[n]
+		if nr == nil {
+			return nil
+		}
+		m, err := testbed.NewMachine(nr.cond)
+		if err != nil {
+			return fmt.Errorf("fleet: epoch %d node %s: %w", e, st.cfg.Nodes[n].Name, err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			return fmt.Errorf("fleet: epoch %d node %s: %w", e, st.cfg.Nodes[n].Name, err)
+		}
+		nr.res = res
+		nr.snap = m.Snapshot()
+		fleetNodeRuns.Inc()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// 4. Merge, in deterministic (node, service, query) order.
+	for i := range st.cfg.Services {
+		total := 0
+		for n := range st.cfg.Nodes {
+			st.warmth[i][n] = 0
+			st.meas[i][n] = 0
+			st.share[i][n] = 0
+			total += epochRouted[i][n]
+		}
+		if total > 0 {
+			for n := range st.cfg.Nodes {
+				st.share[i][n] = float64(epochRouted[i][n]) / float64(total)
+			}
+		}
+	}
+	epochResponses := []float64{}
+	svcEpoch := make([][]float64, len(st.cfg.Services))
+	for n, nr := range runs {
+		if nr == nil {
+			continue
+		}
+		if nr.res.Truncated {
+			st.truncated++
+			fleetTruncated.Inc()
+		}
+		for j, i := range nr.hosted {
+			sr := nr.res.Services[j]
+			rt := sr.ResponseTimes()
+			st.respByNode[n] = append(st.respByNode[n], rt...)
+			st.respBySvc[i] = append(st.respBySvc[i], rt...)
+			svcEpoch[i] = append(svcEpoch[i], rt...)
+			epochResponses = append(epochResponses, rt...)
+			st.respAll = append(st.respAll, rt...)
+			if ts := sr.ServiceTimes(); len(ts) > 0 {
+				st.meas[i][n] = stats.Mean(ts)
+			}
+			st.warmth[i][n] = float64(nr.snap.Services[j].OccupancyLines)
+		}
+	}
+	st.respByEpoch[e] = epochResponses
+	for i := range st.cfg.Services {
+		st.epochSvcP95[i] = append(st.epochSvcP95[i], p95OrZero(svcEpoch[i]))
+	}
+
+	// 5. Let the migrator adjust placement for the next epoch.
+	if st.cfg.Migrate && e+1 < st.cfg.Epochs {
+		st.migrate(e)
+	}
+	return nil
+}
+
+func (st *state) finish() *Result {
+	out := &Result{
+		Policy:     st.cfg.Policy.String(),
+		Epochs:     st.cfg.Epochs,
+		EpochLen:   st.epochLen,
+		Queries:    len(st.respAll),
+		FleetMean:  meanOrZero(st.respAll),
+		FleetP95:   p95OrZero(st.respAll),
+		Truncated:  st.truncated,
+		Migrations: st.migrations,
+		responses:  st.respAll,
+	}
+	if out.Migrations == nil {
+		out.Migrations = []MigrationEvent{}
+	}
+	for e := range st.respByEpoch {
+		out.EpochP95 = append(out.EpochP95, p95OrZero(st.respByEpoch[e]))
+	}
+	for n, spec := range st.cfg.Nodes {
+		nr := NodeResult{
+			Name:       spec.Name,
+			Queries:    len(st.respByNode[n]),
+			Mean:       meanOrZero(st.respByNode[n]),
+			P95:        p95OrZero(st.respByNode[n]),
+			MaxBacklog: st.router.maxBacklog[n],
+			Routed:     map[string]int{},
+		}
+		for i := range st.cfg.Services {
+			if c := st.router.picks[i][n]; c > 0 {
+				nr.Routed[st.svcName[i]] = c
+			}
+		}
+		out.Nodes = append(out.Nodes, nr)
+	}
+	for i := range st.cfg.Services {
+		sr := ServiceResult{
+			Name:       st.svcName[i],
+			Queries:    len(st.respBySvc[i]),
+			Mean:       meanOrZero(st.respBySvc[i]),
+			P95:        p95OrZero(st.respBySvc[i]),
+			SLA:        st.sla[i],
+			EpochP95:   st.epochSvcP95[i],
+			Migrations: st.migCount[i],
+		}
+		for _, n := range st.placement[i] {
+			sr.FinalNodes = append(sr.FinalNodes, st.cfg.Nodes[n].Name)
+		}
+		out.Services = append(out.Services, sr)
+	}
+	return out
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

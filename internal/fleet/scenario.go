@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"stac/internal/testbed"
+	"stac/internal/workload"
+)
+
+// threeNodes is the heterogeneous cluster every scenario runs on: a big
+// node, a mid node and a small node (distinct core counts and LLC
+// geometries).
+func threeNodes() []NodeSpec {
+	return []NodeSpec{
+		{Name: "big", Processor: testbed.XeonE5_2683()},
+		{Name: "mid", Processor: testbed.Xeon2650()},
+		{Name: "small", Processor: testbed.Xeon2620()},
+	}
+}
+
+// ScenarioStatic is the baseline: four services spread over three
+// heterogeneous nodes, steady load, no events.
+func ScenarioStatic(seed uint64) Config {
+	return Config{
+		Nodes: threeNodes(),
+		Services: []ServiceSpec{
+			{Kernel: workload.Redis(), Load: 0.6, Replicas: 2},
+			{Kernel: workload.KNN(), Load: 0.55},
+			{Kernel: workload.BFS(), Load: 0.5},
+			{Kernel: workload.Kmeans(), Load: 0.5},
+		},
+		Policy: LeastLoaded,
+		Seed:   seed,
+	}
+}
+
+// ScenarioDrain takes the mid node out of service at epoch 2: the
+// router stops sending to it and its services are force-migrated, so
+// traffic re-routes to the surviving nodes for the rest of the run.
+func ScenarioDrain(seed uint64) Config {
+	cfg := ScenarioStatic(seed)
+	// Pin initial placement so the drained node verifiably hosts work.
+	cfg.Services[0].Nodes = []string{"big", "mid"}
+	cfg.Services[1].Nodes = []string{"mid"}
+	cfg.Services[2].Nodes = []string{"big"}
+	cfg.Services[3].Nodes = []string{"small"}
+	cfg.DrainNode = "mid"
+	cfg.DrainEpoch = 2
+	return cfg
+}
+
+// ScenarioDiurnal runs two replicated services through opposite-phase
+// diurnal rate cycles under power-of-two-choices routing.
+func ScenarioDiurnal(seed uint64) Config {
+	return Config{
+		Nodes: threeNodes(),
+		Services: []ServiceSpec{
+			{Kernel: workload.Redis(), Load: 0.5, Replicas: 2,
+				RateProfile: []float64{0.5, 0.9, 1.3, 0.9, 0.5, 0.4}},
+			{Kernel: workload.Social(), Load: 0.5, Replicas: 2,
+				RateProfile: []float64{1.3, 0.9, 0.5, 0.9, 1.3, 1.4}},
+			{Kernel: workload.KNN(), Load: 0.5},
+		},
+		Policy: PowerOfTwo,
+		Seed:   seed,
+	}
+}
+
+// ScenarioHotShift doubles one service's arrival rate from epoch 2
+// onward — the hot-service shift the model-driven migrator is judged
+// on. The hot service starts on the small node (2 cores per service);
+// the doubled rate overloads it (ρ ≈ 1.4), while the big node
+// provisions 4 cores per service and can absorb the shift. With
+// migrate off this is the static-placement baseline.
+func ScenarioHotShift(seed uint64, migrate bool) Config {
+	nodes := threeNodes()
+	nodes[0].CoresPerService = 4
+	return Config{
+		Nodes: nodes,
+		Services: []ServiceSpec{
+			{Kernel: workload.Redis(), Load: 0.7, Nodes: []string{"small"},
+				RateProfile: []float64{1, 1, 2, 2, 2, 2}},
+			{Kernel: workload.KNN(), Load: 0.5, Nodes: []string{"big"}},
+			{Kernel: workload.BFS(), Load: 0.5, Nodes: []string{"mid"}},
+		},
+		Policy:  LeastLoaded,
+		Migrate: migrate,
+		Seed:    seed,
+	}
+}
+
+// ScenarioRollout rolls a new CAT plan (wider private spans, no shared
+// span) across the nodes one epoch at a time, starting at epoch 1.
+func ScenarioRollout(seed uint64) Config {
+	cfg := ScenarioStatic(seed)
+	cfg.Rollout = &Rollout{StartEpoch: 1, PrivateWays: 3, SharedWays: 1}
+	return cfg
+}
+
+// ScenarioNames lists the selectable scenarios.
+func ScenarioNames() []string {
+	return []string{"static", "drain", "diurnal", "hotshift", "rollout"}
+}
+
+// ScenarioByName builds a named scenario.
+func ScenarioByName(name string, seed uint64) (Config, error) {
+	switch name {
+	case "static":
+		return ScenarioStatic(seed), nil
+	case "drain":
+		return ScenarioDrain(seed), nil
+	case "diurnal":
+		return ScenarioDiurnal(seed), nil
+	case "hotshift":
+		return ScenarioHotShift(seed, true), nil
+	case "rollout":
+		return ScenarioRollout(seed), nil
+	default:
+		return Config{}, fmt.Errorf("fleet: unknown scenario %q (want %s)",
+			name, strings.Join(ScenarioNames(), "|"))
+	}
+}

@@ -56,6 +56,13 @@ type ServiceSpec struct {
 	Timeout float64
 	// Boost selects the boost mechanism (default BoostCache).
 	Boost BoostKind
+	// Schedule, when non-nil, replaces the generated arrival process with
+	// an explicit pre-routed query sequence (arrivals in machine-local
+	// simulated seconds, non-decreasing). This is the fleet router's
+	// injection point: every scheduled query is measured (warmup 0) and
+	// Load is ignored. An empty non-nil schedule is valid — the service
+	// is placed on the machine (cores, CAT span) but receives no traffic.
+	Schedule []workload.Query
 }
 
 // Condition is one runtime condition (a cell of Table 2's space): the
@@ -99,6 +106,12 @@ type Condition struct {
 	PoolSharing bool
 	// Seed makes the run reproducible.
 	Seed uint64
+	// CalibrationSeed, when non-zero, seeds service-time calibration
+	// instead of Seed. Fleet epochs vary Seed per (epoch, node) for fresh
+	// run randomness but keep CalibrationSeed fixed so the process-wide
+	// calibration memo keeps hitting. Zero preserves the historical
+	// behaviour (calibrate from Seed) exactly.
+	CalibrationSeed uint64
 }
 
 // Defaults fills zero-valued fields with the standard experimental
@@ -168,8 +181,13 @@ func (c Condition) Validate() error {
 		return fmt.Errorf("testbed: layout needs %d ways, processor has %d", need, c.Processor.Ways)
 	}
 	for i, s := range c.Services {
-		if s.Load <= 0 || s.Load >= 1 {
+		if s.Schedule == nil && (s.Load <= 0 || s.Load >= 1) {
 			return fmt.Errorf("testbed: service %d load %v outside (0,1)", i, s.Load)
+		}
+		for qi := 1; qi < len(s.Schedule); qi++ {
+			if s.Schedule[qi].Arrival < s.Schedule[qi-1].Arrival {
+				return fmt.Errorf("testbed: service %d schedule arrivals decrease at %d", i, qi)
+			}
 		}
 		if s.Timeout < 0 {
 			return fmt.Errorf("testbed: service %d negative timeout", i)

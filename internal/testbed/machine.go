@@ -42,9 +42,16 @@ type service struct {
 	boostMask   uint64
 	boostRatio  float64
 
-	source   *workload.Source
+	source   workload.QuerySource
 	patterns []workload.Pattern // one per core: process state persists
 	rng      *stats.RNG
+
+	// warmup/measure are the per-service query budgets: the condition's
+	// uniform WarmupQueries/QueriesPerService for generated arrivals, or
+	// (0, len(Schedule)) for externally routed schedules — every routed
+	// query is measured, including the cold transient.
+	warmup  int
+	measure int
 
 	queue   queryRing
 	running []*exec // parallel to cores; nil = idle core
@@ -231,10 +238,16 @@ func NewMachine(cond Condition) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{cond: cond, h: h, rng: stats.NewRNG(cond.Seed), scratch: scratchPool.Get().(*runScratch)}
+	// Calibrations are keyed on CalibrationSeed when set, so fleet epochs
+	// that vary the run Seed per epoch still hit the process-wide memo.
+	calSeed := cond.Seed
+	if cond.CalibrationSeed != 0 {
+		calSeed = cond.CalibrationSeed
+	}
 	for i, spec := range cond.Services {
 		pol := masks[i]
 		base := uint64(i+1) << 32
-		exp, err := CalibrateServiceTime(cond.Processor, spec.Kernel, pol.Default, base, cond.Seed+uint64(i)*7919)
+		exp, err := CalibrateServiceTime(cond.Processor, spec.Kernel, pol.Default, base, calSeed+uint64(i)*7919)
 		if err != nil {
 			return nil, err
 		}
@@ -252,13 +265,33 @@ func NewMachine(cond Condition) (*Machine, error) {
 			rng:         m.rng.Split(),
 			expService:  exp,
 			rate:        rate,
+			warmup:      cond.WarmupQueries,
+			measure:     cond.QueriesPerService,
 			running:     make([]*exec, cond.CoresPerService),
 		}
 		for c := 0; c < cond.CoresPerService; c++ {
 			svc.cores = append(svc.cores, i*cond.CoresPerService+c)
 			svc.patterns = append(svc.patterns, spec.Kernel.NewPattern(base))
 		}
-		svc.source = workload.NewSource(spec.Kernel, stats.Exponential{Rate: rate}, m.rng.Split())
+		if spec.Schedule != nil {
+			// Externally routed arrivals: the whole schedule is measured
+			// (warmup 0 — cold transients are part of the signal a fleet
+			// migration penalty must show). The rate estimate only scales
+			// the simulated-time guard; make it generous enough that the
+			// last arrival plus its service comfortably fits.
+			n := len(spec.Schedule)
+			svc.warmup, svc.measure = 0, n
+			svc.rate = 1
+			if n > 0 {
+				span := spec.Schedule[n-1].Arrival + float64(n)*exp
+				if span > 0 {
+					svc.rate = float64(n) / span
+				}
+			}
+			svc.source = workload.NewSchedule(spec.Schedule)
+		} else {
+			svc.source = workload.NewSource(spec.Kernel, stats.Exponential{Rate: rate}, m.rng.Split())
+		}
 		h.SetMask(svc.clos, pol.Default)
 		m.svcs = append(m.svcs, svc)
 	}
@@ -422,20 +455,29 @@ func calibrateUncached(proc Processor, k workload.Kernel, allocMask uint64, base
 // (TestGoldenRunTraces).
 func (m *Machine) Run() (*RunResult, error) {
 	cond := m.cond
-	target := cond.QueriesPerService + cond.WarmupQueries
 
 	// Quantum: a small fraction of the fastest service so queries span
 	// many quanta and LLC contention interleaves finely.
 	minExp := math.Inf(1)
-	minRate := math.Inf(1)
 	for _, s := range m.svcs {
 		minExp = math.Min(minExp, s.expService)
-		minRate = math.Min(minRate, s.rate)
 	}
 	quantum := minExp / 64
 	const nSub = 2
 
-	maxSim := maxSimFactor * float64(target) / minRate
+	// Simulated-time guard: the loosest per-service budget. Services with
+	// an empty routed schedule have nothing to complete and count as done
+	// from the start.
+	maxSim := 0.0
+	for _, s := range m.svcs {
+		if s.warmup+s.measure == 0 {
+			m.doneSvcs++
+			continue
+		}
+		if b := maxSimFactor * float64(s.warmup+s.measure) / s.rate; b > maxSim {
+			maxSim = b
+		}
+	}
 	now := 0.0
 	nextSample := cond.SamplePeriod
 	rot := 0
@@ -753,7 +795,7 @@ func (m *Machine) runExec(s *service, e *exec, until float64) {
 
 // reap records completed executions and frees their cores.
 func (m *Machine) reap(s *service) {
-	warmup, measure := m.cond.WarmupQueries, m.cond.QueriesPerService
+	warmup, measure := s.warmup, s.measure
 	for ci, e := range s.running {
 		if e == nil || !e.done {
 			continue

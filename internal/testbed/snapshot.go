@@ -1,0 +1,58 @@
+package testbed
+
+// Snapshot is a read-only load probe of a machine: the view a fleet
+// router or autoscaler polls between (or after) runs. Taking a snapshot
+// performs no writes — no RNG draws, no cache accesses, no counter
+// mutation — so interleaving snapshots with a run cannot perturb golden
+// run digests (TestSnapshotDoesNotPerturbRun pins this).
+type Snapshot struct {
+	// BusyExecs counts in-flight query executions across all services.
+	BusyExecs int
+	// Services holds one probe per service, in condition order.
+	Services []ServiceSnapshot
+}
+
+// ServiceSnapshot is the per-service slice of a machine probe.
+type ServiceSnapshot struct {
+	// Name is the service's kernel name.
+	Name string
+	// QueueDepth is the number of arrived-but-undispatched queries.
+	QueueDepth int
+	// Running counts executions currently bound to cores.
+	Running int
+	// Completed counts finished queries (warmup included).
+	Completed int
+	// OccupancyLines is the service's current LLC occupancy in cache
+	// lines — the cache-warmth signal locality-aware routing reads.
+	OccupancyLines int
+	// Boosted reports whether the service currently holds its boost
+	// allocation.
+	Boosted bool
+}
+
+// Snapshot probes the machine's current load without perturbing it. It
+// is valid any time between NewMachine and the machine being discarded;
+// after Run completes it reports the terminal state (queues drained,
+// LLC occupancy reflecting the finished run — the warmth a locality
+// router wants). It is not safe to call concurrently with Run.
+func (m *Machine) Snapshot() Snapshot {
+	out := Snapshot{BusyExecs: m.busyExecs}
+	llc := m.h.LLC()
+	for _, s := range m.svcs {
+		running := 0
+		for _, e := range s.running {
+			if e != nil {
+				running++
+			}
+		}
+		out.Services = append(out.Services, ServiceSnapshot{
+			Name:           s.name,
+			QueueDepth:     s.queue.len(),
+			Running:        running,
+			Completed:      s.completed,
+			OccupancyLines: llc.Occupancy(s.clos),
+			Boosted:        s.boosted,
+		})
+	}
+	return out
+}

@@ -5,15 +5,19 @@
 # probe/fill hot path), the internal/forest + internal/deepforest
 # training/prediction benchmarks (the stage-2 model's wall-clock floor),
 # the internal/testbed + internal/queueing machine-loop benchmarks
-# (the serial floor of every experiment condition) and the internal/mrc +
+# (the serial floor of every experiment condition), the internal/mrc +
 # internal/surrogate fast-path benchmarks (MRC ingestion and the
-# surrogate-vs-replay per-plan cost), plus one end-to-end fig6
+# surrogate-vs-replay per-plan cost) and the internal/fleet cluster
+# benchmarks (fleet step rate, routing decision cost and the migrator's
+# queueing-model decision latency), plus one end-to-end fig6
 # regeneration and a serving loadtest sweep (stac loadtest against an
 # in-process engine: cached capacity, cold batched path, and open-loop
 # tail latency), and writes BENCH_cache.json, BENCH_forest.json,
-# BENCH_queueing.json, BENCH_mrc.json and BENCH_serve.json so successive
-# PRs can compare against a recorded baseline with benchstat or by
-# diffing the JSON.
+# BENCH_queueing.json, BENCH_mrc.json, BENCH_fleet.json and
+# BENCH_serve.json so successive PRs can compare against a recorded
+# baseline with benchstat or by diffing the JSON.
+# BENCH_fleet.json additionally records fleet_queries_per_second (the
+# end-to-end fleet step rate from BenchmarkFleetRun's queries/s metric).
 # BENCH_mrc.json additionally records surrogate_speedup_vs_replay: the
 # measured ratio of a full testbed replay of one plan (default query
 # count) to one surrogate evaluation — the honest per-plan speedup of
@@ -31,6 +35,7 @@
 #   BENCH_FOREST_OUT  forest output path (default BENCH_forest.json)
 #   BENCH_QUEUE_OUT   testbed/queueing output path (default BENCH_queueing.json)
 #   BENCH_MRC_OUT     mrc/surrogate output path (default BENCH_mrc.json)
+#   BENCH_FLEET_OUT   fleet output path (default BENCH_fleet.json)
 #   BENCH_SERVE_OUT   serving loadtest output path (default BENCH_serve.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -56,6 +61,7 @@ CACHE_OUT=${BENCH_OUT:-BENCH_cache.json}
 FOREST_OUT=${BENCH_FOREST_OUT:-BENCH_forest.json}
 QUEUE_OUT=${BENCH_QUEUE_OUT:-BENCH_queueing.json}
 MRC_OUT=${BENCH_MRC_OUT:-BENCH_mrc.json}
+FLEET_OUT=${BENCH_FLEET_OUT:-BENCH_fleet.json}
 SERVE_OUT=${BENCH_SERVE_OUT:-BENCH_serve.json}
 
 # Snapshot the committed baselines before the run overwrites the outputs.
@@ -73,12 +79,14 @@ CACHE_BASELINE=""
 FOREST_BASELINE=""
 QUEUE_BASELINE=""
 MRC_BASELINE=""
+FLEET_BASELINE=""
 SERVE_BASELINE=""
 if [[ "$COMPARE" == 1 ]]; then
     CACHE_BASELINE=$(snapshot_baseline BENCH_cache.json)
     FOREST_BASELINE=$(snapshot_baseline BENCH_forest.json)
     QUEUE_BASELINE=$(snapshot_baseline BENCH_queueing.json)
     MRC_BASELINE=$(snapshot_baseline BENCH_mrc.json)
+    FLEET_BASELINE=$(snapshot_baseline BENCH_fleet.json)
     SERVE_BASELINE=$(snapshot_baseline BENCH_serve.json)
 fi
 
@@ -86,7 +94,8 @@ RAW_CACHE=$(mktemp)
 RAW_FOREST=$(mktemp)
 RAW_QUEUE=$(mktemp)
 RAW_MRC=$(mktemp)
-trap 'rm -f "$RAW_CACHE" "$RAW_FOREST" "$RAW_QUEUE" "$RAW_MRC"' EXIT
+RAW_FLEET=$(mktemp)
+trap 'rm -f "$RAW_CACHE" "$RAW_FOREST" "$RAW_QUEUE" "$RAW_MRC" "$RAW_FLEET"' EXIT
 
 echo "== micro-benchmarks (internal/cache, count=$COUNT, benchtime=$BENCHTIME) =="
 go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
@@ -103,6 +112,10 @@ go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
 echo "== fast-path benchmarks (internal/mrc + internal/surrogate) =="
 go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
     ./internal/mrc ./internal/surrogate | tee "$RAW_MRC"
+
+echo "== fleet benchmarks (internal/fleet) =="
+go test -run '^$' -bench '.' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
+    ./internal/fleet | tee "$RAW_FLEET"
 
 echo "== end-to-end: fig6 regeneration wall clock =="
 go build -o /tmp/stac-bench ./cmd/stac
@@ -121,7 +134,7 @@ else
     OPEN_QPS=20000
 fi
 SERVE_DIR=$(mktemp -d)
-trap 'rm -f "$RAW_CACHE" "$RAW_FOREST" "$RAW_QUEUE" "$RAW_MRC"; rm -rf "$SERVE_DIR"' EXIT
+trap 'rm -f "$RAW_CACHE" "$RAW_FOREST" "$RAW_QUEUE" "$RAW_MRC" "$RAW_FLEET"; rm -rf "$SERVE_DIR"' EXIT
 /tmp/stac-bench profile -a redis -b bfs -points 6 -queries 30 -out "$SERVE_DIR/profile.json.gz"
 /tmp/stac-bench train -in "$SERVE_DIR/profile.json.gz" -model "$SERVE_DIR/model.gob"
 /tmp/stac-bench loadtest -model "$SERVE_DIR/model.gob" -data "$SERVE_DIR/profile.json.gz" \
@@ -152,10 +165,17 @@ raw, out, mode, fig6, git_rev, go_version, withfig6 = sys.argv[1:8]
 # BenchmarkAccessHit-8   274317721   4.593 ns/op   0 B/op   0 allocs/op
 pat = re.compile(
     r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op"
+    r"(?:\s+[\d.]+ queries/s)?"
     r"(?:\s+(\d+) B/op\s+(\d+) allocs/op)?"
 )
 bench = {}
+fleet_qps = 0.0
 for line in open(raw):
+    # BenchmarkFleetRun reports a custom queries/s metric — the headline
+    # fleet step rate. Keep the best sample (least scheduler noise).
+    q = re.search(r"([\d.]+) queries/s", line)
+    if q:
+        fleet_qps = max(fleet_qps, float(q.group(1)))
     m = pat.match(line)
     if not m:
         continue
@@ -194,6 +214,8 @@ rep = bench.get("BenchmarkTestbedReplayPlan")
 if sur and rep and sur["ns_per_op_min"] > 0:
     doc["surrogate_speedup_vs_replay"] = round(
         rep["ns_per_op_min"] / sur["ns_per_op_min"], 1)
+if fleet_qps > 0:
+    doc["fleet_queries_per_second"] = round(fleet_qps, 1)
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
@@ -205,6 +227,7 @@ emit_json "$RAW_CACHE" "$CACHE_OUT" 1
 emit_json "$RAW_FOREST" "$FOREST_OUT" 0
 emit_json "$RAW_QUEUE" "$QUEUE_OUT" 0
 emit_json "$RAW_MRC" "$MRC_OUT" 0
+emit_json "$RAW_FLEET" "$FLEET_OUT" 0
 
 # BENCH_serve.json: the three loadgen scenarios verbatim, plus the usual
 # metadata. closed_cached is the headline serving capacity (prediction
@@ -274,6 +297,9 @@ if bw and cw:
 bs, cs = base.get("surrogate_speedup_vs_replay"), cur.get("surrogate_speedup_vs_replay")
 if bs and cs:
     print(f"| surrogate speedup vs replay | {bs}x | {cs}x | {(cs - bs) / bs * 100:+.1f}% | |")
+bq, cq = base.get("fleet_queries_per_second"), cur.get("fleet_queries_per_second")
+if bq and cq:
+    print(f"| fleet queries/s | {bq:.0f} | {cq:.0f} | {(cq - bq) / bq * 100:+.1f}% | |")
 PYEOF
     rm -f "$baseline"
 }
@@ -282,6 +308,7 @@ compare_json "$CACHE_BASELINE" "$CACHE_OUT" BENCH_cache.json
 compare_json "$FOREST_BASELINE" "$FOREST_OUT" BENCH_forest.json
 compare_json "$QUEUE_BASELINE" "$QUEUE_OUT" BENCH_queueing.json
 compare_json "$MRC_BASELINE" "$MRC_OUT" BENCH_mrc.json
+compare_json "$FLEET_BASELINE" "$FLEET_OUT" BENCH_fleet.json
 
 # compare_serve_json renders the loadgen delta table: achieved QPS and
 # p99 per scenario. Higher QPS is better (positive delta), lower p99 is
