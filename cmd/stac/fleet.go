@@ -22,6 +22,8 @@ func cmdFleet(args []string) error {
 	migrate := fs.Bool("migrate", false, "enable or disable the model-driven migrator (default: scenario's setting)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "node-simulation parallelism (0 = GOMAXPROCS)")
+	fresh := fs.Bool("fresh-machines", false,
+		"rebuild node machines every epoch instead of resetting persistent ones (slower; identical results)")
 	jsonOut := fs.String("json", "", "write the full result as JSON to this path ('-' = stdout)")
 	registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -51,6 +53,7 @@ func cmdFleet(args []string) error {
 		}
 	})
 	cfg.Workers = *workers
+	cfg.FreshMachines = *fresh
 
 	res, err := fleet.Run(cfg)
 	if err != nil {

@@ -135,6 +135,11 @@ const (
 // every reachable rank and can never alias the victim rank ways-1.
 const rankInit = 0x0706050403020100
 
+// replaceRNGSeed is the fixed initial state of the per-cache random-
+// replacement stream; Reset restores it so a reused cache replays the
+// same victim sequence a fresh one would.
+const replaceRNGSeed = 0x9e3779b97f4a7c15
+
 // metaWords returns the per-set metadata footprint in uint64 words.
 func metaWords(cfg Config) int {
 	return metaSig + (cfg.Ways+7)/8
@@ -268,7 +273,7 @@ func newInArena(cfg Config, a *arena) *Cache {
 		lines:    a.takeLines(n),
 		meta:     a.takeWords(cfg.Sets * metaWords(cfg)),
 		owner:    a.takeBytes(n),
-		rngState: 0x9e3779b97f4a7c15,
+		rngState: replaceRNGSeed,
 	}
 	full := fullMask(cfg.Ways)
 	for i := range c.masks {
@@ -330,6 +335,31 @@ func (c *Cache) Flush() {
 	c.occ = [MaxCLOS]int{}
 	c.clock = 0
 	c.ResetStats()
+}
+
+// Reset returns the cache to its as-constructed state without touching
+// the arena-backed line storage: all lines invalid, statistics and
+// occupancy zeroed, every CLOS mask fully open, the replacement RNG
+// reseeded and the recency metadata restored to its initial value
+// (identity rank permutation for rankLRU caches, clear marks
+// otherwise). A reused cache is bit-indistinguishable from a fresh
+// newInArena one: stale tags, signatures and recency stamps survive
+// only on invalid ways, which no probe or victim scan ever reads
+// before a post-reset install overwrites them. Any attached recorder
+// stays attached.
+func (c *Cache) Reset() {
+	c.Flush()
+	mru := uint64(0)
+	if c.rankLRU {
+		mru = rankInit
+	}
+	for s := 0; s < c.cfg.Sets; s++ {
+		c.meta[s*c.stride+metaMRU] = mru
+	}
+	for i := range c.masks {
+		c.masks[i] = c.full
+	}
+	c.rngState = replaceRNGSeed
 }
 
 // Access performs one memory access by CLOS clos at byte address addr.
@@ -705,9 +735,9 @@ func (c *Cache) accessPrivate(addr uint64, write bool) bool {
 	}
 	mw[metaMRU] = ranks
 	mw[metaSig] = (x^pat)&^(0xFF<<sh) | (tag&0xFF)<<sh
-	i := base + w
-	c.lines[i] = line{tag: tag, lastUse: c.clock}
-	c.owner[i] = 0
+	// No owner write: a private level only ever installs for CLOS 0 and
+	// owner bytes start (and stay) zero, so the store is dead.
+	c.lines[base+w] = line{tag: tag, lastUse: c.clock}
 	st.Installs++
 	if c.rec != nil {
 		c.rec.CacheInstall(c.level, 0, fresh)

@@ -169,6 +169,19 @@ func (h *Hierarchy) Access(core, clos int, addr uint64, write bool) Level {
 	return lvl
 }
 
+// Reset returns every cache in the hierarchy to its as-constructed
+// state (see Cache.Reset) and re-evaluates the private fast-path gate,
+// exactly as NewHierarchy would. testbed.Machine.Reset reuses a
+// hierarchy's arena-allocated line storage across runs through this.
+func (h *Hierarchy) Reset() {
+	for i := range h.l1 {
+		h.l1[i].Reset()
+		h.l2[i].Reset()
+	}
+	h.llc.Reset()
+	h.fastPriv = h.l1[0].privateEligible() && h.l2[0].privateEligible()
+}
+
 // ResetStats clears statistics at every level; contents are preserved.
 func (h *Hierarchy) ResetStats() {
 	for i := range h.l1 {

@@ -146,6 +146,12 @@ type Config struct {
 	// Workers bounds the per-epoch node fan-out (<= 0: GOMAXPROCS).
 	// Results are identical at any worker count.
 	Workers int
+	// FreshMachines disables per-node machine reuse: every (epoch, node)
+	// run constructs a new testbed machine instead of resetting the
+	// node's persistent one. Results are identical either way — the
+	// fleet tests pin both paths to the same golden digests — so the
+	// flag exists purely for A/B measurement of the reuse fast path.
+	FreshMachines bool
 	// Seed drives every random stream in the run.
 	Seed uint64
 }

@@ -38,17 +38,32 @@ func mix(vals ...uint64) uint64 {
 	return h
 }
 
+// soloKey identifies a solo calibration. The epoch enters only through
+// the node plan's private span, so the span itself is the key — under a
+// Rollout the same (svc, node) legitimately recalibrates when the plan
+// flips.
+type soloKey struct {
+	svc, node, priv int
+}
+
 // soloOn returns the service's calibrated solo service time on a node
-// under its current-plan private span (memoised process-wide).
+// under its current-plan private span. Calibration is deterministic in
+// (service, node, span), so results are memoised for the run's lifetime;
+// repeat calls cost a map lookup instead of a cache-simulation sweep.
 func (st *state) soloOn(svc, node, epoch int) float64 {
-	spec := st.cfg.Nodes[node]
 	priv, _ := st.cfg.nodePlan(epoch, node)
+	key := soloKey{svc: svc, node: node, priv: priv}
+	if exp, ok := st.soloMemo[key]; ok {
+		return exp
+	}
+	spec := st.cfg.Nodes[node]
 	mask := cat.Setting{Offset: 0, Length: priv}.Mask()
 	exp, err := testbed.CalibrateServiceTime(spec.Processor, st.cfg.Services[svc].Kernel,
 		mask, uint64(svc+1)<<32, st.cfg.Seed+uint64(svc)*7919)
 	if err != nil {
-		return st.expRef[svc]
+		exp = st.expRef[svc]
 	}
+	st.soloMemo[key] = exp
 	return exp
 }
 
@@ -69,12 +84,33 @@ func (st *state) muEstimate(svc, from, to, epoch int, hostedOnTo int) float64 {
 	return soloTo * (1 + 0.1*float64(hostedOnTo))
 }
 
+// predKey identifies one migration prediction within a decision pass.
+// The epoch is deliberately absent: it feeds only the simulation seed,
+// and the memo is cleared at the start of every migrate/drain pass, so
+// a single epoch value is in play for a memo's whole lifetime.
+type predKey struct {
+	svc, node int
+	mu, rate  uint64 // math.Float64bits
+	cold      bool
+}
+
 // predictP95 runs the migrator's queueing model: a G/G/k FCFS
 // simulation at the replica's next-epoch arrival rate with the
-// estimated mean service time and the service's demand CV.
+// estimated mean service time and the service's demand CV. Identical
+// questions within one decision pass — the same candidate node judged
+// for several replicas at the same estimated mu and rate — are answered
+// from the pass-local memo instead of re-simulating.
 func (st *state) predictP95(svc, node, epoch int, mu, rate float64, cold bool) float64 {
 	if rate <= 0 || mu <= 0 {
 		return 0
+	}
+	key := predKey{
+		svc: svc, node: node,
+		mu: math.Float64bits(mu), rate: math.Float64bits(rate),
+		cold: cold,
+	}
+	if p, ok := st.predMemo[key]; ok {
+		return p
 	}
 	if cold {
 		// Amortise the cold-cache demand inflation over the queries of
@@ -90,7 +126,9 @@ func (st *state) predictP95(svc, node, epoch int, mu, rate float64, cold bool) f
 	if cv <= 0 {
 		cv = 0.3
 	}
-	res, err := queueing.Simulate(queueing.Config{
+	// st.msim reuses its buffers across predictions; migrate/drain run
+	// single-threaded on the epoch driver, so one simulator suffices.
+	res, err := st.msim.Run(queueing.Config{
 		Servers:   st.cfg.Nodes[node].CoresPerService,
 		Arrival:   stats.Exponential{Rate: rate},
 		Service:   stats.LognormalFromMeanCV(mu, cv),
@@ -100,10 +138,12 @@ func (st *state) predictP95(svc, node, epoch int, mu, rate float64, cold bool) f
 		Warmup:    predictWarmup,
 		Seed:      mix(st.cfg.Seed, uint64(epoch+1), uint64(svc+1), uint64(node+1)),
 	})
-	if err != nil {
-		return math.Inf(1)
+	p := math.Inf(1)
+	if err == nil {
+		p = res.P95Response()
 	}
-	return res.P95Response()
+	st.predMemo[key] = p
+	return p
 }
 
 // hostedCount returns how many services a node hosts.
@@ -162,6 +202,7 @@ func (st *state) move(svc, from, to, epoch int, reason string, predFrom, predTo 
 // to the candidate node with the best prediction, provided the win
 // clears the cold-start margin.
 func (st *state) migrate(e int) {
+	clear(st.predMemo)
 	for i, s := range st.cfg.Services {
 		nextRate := st.rate[i] * s.rateAt(e+1)
 		// One move per service per epoch, judged replica by replica in
@@ -201,6 +242,7 @@ func (st *state) migrate(e int) {
 // for the epoch that is about to run. Destinations are chosen by the
 // same queueing model (best predicted p95 among feasible nodes).
 func (st *state) drain(e int) error {
+	clear(st.predMemo)
 	node := -1
 	for n, spec := range st.cfg.Nodes {
 		if spec.Name == st.cfg.DrainNode {

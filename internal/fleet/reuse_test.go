@@ -1,0 +1,26 @@
+package fleet
+
+import "testing"
+
+// TestFreshMachinesMatchGolden pins the machine-reuse contract from the
+// fleet's side: the default path (persistent per-node machines, Reset
+// between epochs) and the FreshMachines path (a new machine per
+// (epoch, node), the pre-reuse behaviour) must both reproduce the
+// committed golden digests byte for byte. Combined with
+// testbed.TestMachineResetEquivalence this pins that reuse is purely a
+// performance optimisation.
+func TestFreshMachinesMatchGolden(t *testing.T) {
+	for name, cfg := range goldenFleetConfigs() {
+		for _, fresh := range []bool{false, true} {
+			cfg := cfg
+			cfg.FreshMachines = fresh
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s fresh=%v: %v", name, fresh, err)
+			}
+			if got := fleetDigest(res); got != goldenFleet[name] {
+				t.Errorf("%s fresh=%v: digest %s want %s", name, fresh, got, goldenFleet[name])
+			}
+		}
+	}
+}

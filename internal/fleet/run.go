@@ -6,6 +6,7 @@ import (
 
 	"stac/internal/obs"
 	"stac/internal/par"
+	"stac/internal/queueing"
 	"stac/internal/stats"
 	"stac/internal/testbed"
 	"stac/internal/workload"
@@ -18,7 +19,19 @@ var (
 	fleetMigrations = obs.C("fleet/migrations")
 	fleetNodeRuns   = obs.C("fleet/node_runs")
 	fleetTruncated  = obs.C("fleet/truncated_runs")
+	fleetResets     = obs.C("fleet/machine_resets")
 )
+
+// nodeRun is one node's slot in an epoch's machine fan-out. The slots
+// live in state and are reused every epoch.
+type nodeRun struct {
+	active  bool
+	cond    testbed.Condition
+	hosted  []int
+	res     *testbed.RunResult
+	snap    testbed.Snapshot
+	queries int
+}
 
 // state carries a fleet run between epochs.
 type state struct {
@@ -50,9 +63,35 @@ type state struct {
 
 	epochLen float64
 
+	// machines holds one persistent testbed machine per node,
+	// constructed on the node's first active epoch and Reset (arena
+	// hierarchy, ring queues and scratch reused) on every subsequent
+	// one. Safe under the epoch fan-out: par.ForEach gives each worker
+	// exclusive ownership of its node index.
+	machines []*testbed.Machine
+
+	// Pooled per-epoch scratch, reused across epochs so the steady-state
+	// epoch loop allocates only what escapes into the result.
+	arrivals    [][]arrival             // [svc] generated arrivals
+	sched       [][][]workload.Query    // [node][svc] routed schedules
+	epochRouted [][]int                 // [svc][node] routed counts
+	pos         []int                   // [svc] merge cursor
+	runs        []nodeRun               // [node] fan-out slots
+	condSvcs    [][]testbed.ServiceSpec // [node] condition service backings
+	epochResp   []float64               // this epoch's merged responses
+	svcEpoch    [][]float64             // [svc] this epoch's responses
+
+	// Migration-model scratch (migrate.go): a buffer-reusing queueing
+	// simulator, the per-pass prediction memo and the persistent
+	// solo-calibration memo. All touched only from the driver goroutine
+	// (migrate/drain run strictly between epoch fan-outs).
+	msim     *queueing.Simulator
+	predMemo map[predKey]float64
+	soloMemo map[soloKey]float64
+
 	// Accumulators.
 	respAll     []float64
-	respByEpoch [][]float64
+	epochP95    []float64 // fleet-wide p95, one entry per finished epoch
 	respByNode  [][]float64
 	respBySvc   [][]float64
 	epochSvcP95 [][]float64 // [svc][epoch]
@@ -79,7 +118,18 @@ func newState(cfg Config) (*state, error) {
 		share:       make([][]float64, ns),
 		svcRNG:      make([]*stats.RNG, ns),
 		qid:         make([]int, ns),
-		respByEpoch: make([][]float64, cfg.Epochs),
+		machines:    make([]*testbed.Machine, nn),
+		arrivals:    make([][]arrival, ns),
+		sched:       make([][][]workload.Query, nn),
+		epochRouted: make([][]int, ns),
+		pos:         make([]int, ns),
+		runs:        make([]nodeRun, nn),
+		condSvcs:    make([][]testbed.ServiceSpec, nn),
+		svcEpoch:    make([][]float64, ns),
+		msim:        queueing.NewSimulator(),
+		predMemo:    make(map[predKey]float64),
+		soloMemo:    make(map[soloKey]float64),
+		epochP95:    make([]float64, 0, cfg.Epochs),
 		respByNode:  make([][]float64, nn),
 		respBySvc:   make([][]float64, ns),
 		epochSvcP95: make([][]float64, ns),
@@ -108,11 +158,13 @@ func newState(cfg Config) (*state, error) {
 		st.warmth[i] = make([]float64, nn)
 		st.meas[i] = make([]float64, nn)
 		st.share[i] = make([]float64, nn)
+		st.epochRouted[i] = make([]int, nn)
 		st.epochSvcP95[i] = make([]float64, 0, cfg.Epochs)
 		st.svcRNG[i] = root.Split()
 	}
 	for n := range cfg.Nodes {
 		st.cold[n] = make([]int, ns)
+		st.sched[n] = make([][]workload.Query, ns)
 	}
 	if err := st.place(); err != nil {
 		return nil, err
@@ -221,8 +273,9 @@ func (st *state) epoch(e int) error {
 
 	// 1. Generate every service's arrivals for this epoch from its
 	// persistent stream (rate multiplier applied per epoch).
-	arrivals := make([][]arrival, len(st.cfg.Services))
+	arrivals := st.arrivals
 	for i, s := range st.cfg.Services {
+		arrivals[i] = arrivals[i][:0]
 		r := st.rate[i] * s.rateAt(e)
 		if r <= 0 {
 			continue
@@ -248,15 +301,22 @@ func (st *state) epoch(e int) error {
 
 	// 2. Route in global arrival order (k-way merge, ties to the lower
 	// service index) — a single deterministic sequential pass.
-	sched := make([][][]workload.Query, len(st.cfg.Nodes))
+	sched := st.sched
 	for n := range sched {
-		sched[n] = make([][]workload.Query, len(st.cfg.Services))
+		for i := range sched[n] {
+			sched[n][i] = sched[n][i][:0]
+		}
 	}
-	epochRouted := make([][]int, len(st.cfg.Services))
-	for i := range epochRouted {
-		epochRouted[i] = make([]int, len(st.cfg.Nodes))
+	for i := range st.epochRouted {
+		routedRow := st.epochRouted[i]
+		for n := range routedRow {
+			routedRow[n] = 0
+		}
 	}
-	pos := make([]int, len(st.cfg.Services))
+	pos := st.pos
+	for i := range pos {
+		pos[i] = 0
+	}
 	routed := 0
 	for {
 		best := -1
@@ -283,25 +343,22 @@ func (st *state) epoch(e int) error {
 			st.cold[n][a.svc] = c - 1
 		}
 		sched[n][a.svc] = append(sched[n][a.svc], a.q)
-		epochRouted[a.svc][n]++
+		st.epochRouted[a.svc][n]++
 		routed++
 	}
 	fleetRouted.Add(uint64(routed))
 
-	// 3. Build per-node conditions and run the machines in parallel.
-	// Seeds are drawn sequentially for every node (even skipped ones) so
-	// the stream stays aligned regardless of which nodes run.
-	type nodeRun struct {
-		cond    testbed.Condition
-		hosted  []int
-		res     *testbed.RunResult
-		snap    testbed.Snapshot
-		queries int
-	}
-	runs := make([]*nodeRun, len(st.cfg.Nodes))
+	// 3. Build per-node conditions into the pooled fan-out slots. Seeds
+	// are drawn sequentially for every node (even skipped ones) so the
+	// stream stays aligned regardless of which nodes run. Node machines
+	// run lean (DisableCounterWindows): the fleet merge consumes only
+	// query timings and terminal occupancy, never counter windows.
 	for n, spec := range st.cfg.Nodes {
+		nr := &st.runs[n]
 		seed := st.seedRNG.Uint64()
-		var hosted []int
+		nr.res = nil
+		nr.active = false
+		hosted := nr.hosted[:0]
 		queries := 0
 		for i := range st.cfg.Services {
 			if containsInt(st.placement[i], n) {
@@ -309,39 +366,55 @@ func (st *state) epoch(e int) error {
 				queries += len(sched[n][i])
 			}
 		}
+		nr.hosted = hosted
 		if len(hosted) == 0 || queries == 0 {
 			continue
 		}
 		priv, shared := st.cfg.nodePlan(e, n)
-		cond := testbed.Condition{
-			Processor:       spec.Processor,
-			PrivateWays:     priv,
-			SharedWays:      shared,
-			CoresPerService: spec.CoresPerService,
-			Seed:            seed,
-			CalibrationSeed: st.cfg.Seed + uint64(n)*104729 + 1,
-		}
+		svcSpecs := st.condSvcs[n][:0]
 		for _, i := range hosted {
 			qs := sched[n][i]
 			if qs == nil {
 				qs = []workload.Query{}
 			}
-			cond.Services = append(cond.Services, testbed.ServiceSpec{
+			svcSpecs = append(svcSpecs, testbed.ServiceSpec{
 				Kernel:   st.cfg.Services[i].Kernel,
 				Timeout:  st.cfg.Services[i].Timeout,
 				Schedule: qs,
 			})
 		}
-		runs[n] = &nodeRun{cond: cond.Defaults(), hosted: hosted, queries: queries}
+		st.condSvcs[n] = svcSpecs
+		cond := testbed.Condition{
+			Processor:             spec.Processor,
+			Services:              svcSpecs,
+			PrivateWays:           priv,
+			SharedWays:            shared,
+			CoresPerService:       spec.CoresPerService,
+			Seed:                  seed,
+			CalibrationSeed:       st.cfg.Seed + uint64(n)*104729 + 1,
+			DisableCounterWindows: true,
+		}
+		nr.cond = cond.Defaults()
+		nr.queries = queries
+		nr.active = true
 	}
-	err := par.ForEach(st.cfg.Workers, len(runs), func(n int) error {
-		nr := runs[n]
-		if nr == nil {
+	err := par.ForEach(st.cfg.Workers, len(st.runs), func(n int) error {
+		nr := &st.runs[n]
+		if !nr.active {
 			return nil
 		}
-		m, err := testbed.NewMachine(nr.cond)
-		if err != nil {
-			return fmt.Errorf("fleet: epoch %d node %s: %w", e, st.cfg.Nodes[n].Name, err)
+		m := st.machines[n]
+		var err error
+		if m == nil || st.cfg.FreshMachines {
+			if m, err = testbed.NewMachine(nr.cond); err != nil {
+				return fmt.Errorf("fleet: epoch %d node %s: %w", e, st.cfg.Nodes[n].Name, err)
+			}
+			st.machines[n] = m
+		} else {
+			if err = m.Reset(nr.cond); err != nil {
+				return fmt.Errorf("fleet: epoch %d node %s: %w", e, st.cfg.Nodes[n].Name, err)
+			}
+			fleetResets.Inc()
 		}
 		res, err := m.Run()
 		if err != nil {
@@ -363,18 +436,21 @@ func (st *state) epoch(e int) error {
 			st.warmth[i][n] = 0
 			st.meas[i][n] = 0
 			st.share[i][n] = 0
-			total += epochRouted[i][n]
+			total += st.epochRouted[i][n]
 		}
 		if total > 0 {
 			for n := range st.cfg.Nodes {
-				st.share[i][n] = float64(epochRouted[i][n]) / float64(total)
+				st.share[i][n] = float64(st.epochRouted[i][n]) / float64(total)
 			}
 		}
 	}
-	epochResponses := []float64{}
-	svcEpoch := make([][]float64, len(st.cfg.Services))
-	for n, nr := range runs {
-		if nr == nil {
+	epochResp := st.epochResp[:0]
+	for i := range st.svcEpoch {
+		st.svcEpoch[i] = st.svcEpoch[i][:0]
+	}
+	for n := range st.runs {
+		nr := &st.runs[n]
+		if !nr.active {
 			continue
 		}
 		if nr.res.Truncated {
@@ -386,18 +462,22 @@ func (st *state) epoch(e int) error {
 			rt := sr.ResponseTimes()
 			st.respByNode[n] = append(st.respByNode[n], rt...)
 			st.respBySvc[i] = append(st.respBySvc[i], rt...)
-			svcEpoch[i] = append(svcEpoch[i], rt...)
-			epochResponses = append(epochResponses, rt...)
+			st.svcEpoch[i] = append(st.svcEpoch[i], rt...)
+			epochResp = append(epochResp, rt...)
 			st.respAll = append(st.respAll, rt...)
 			if ts := sr.ServiceTimes(); len(ts) > 0 {
 				st.meas[i][n] = stats.Mean(ts)
 			}
 			st.warmth[i][n] = float64(nr.snap.Services[j].OccupancyLines)
 		}
+		// Release the run result: it references the pooled schedule
+		// buffers the next epoch's router will overwrite.
+		nr.res = nil
 	}
-	st.respByEpoch[e] = epochResponses
+	st.epochResp = epochResp
+	st.epochP95 = append(st.epochP95, p95OrZero(epochResp))
 	for i := range st.cfg.Services {
-		st.epochSvcP95[i] = append(st.epochSvcP95[i], p95OrZero(svcEpoch[i]))
+		st.epochSvcP95[i] = append(st.epochSvcP95[i], p95OrZero(st.svcEpoch[i]))
 	}
 
 	// 5. Let the migrator adjust placement for the next epoch.
@@ -422,9 +502,7 @@ func (st *state) finish() *Result {
 	if out.Migrations == nil {
 		out.Migrations = []MigrationEvent{}
 	}
-	for e := range st.respByEpoch {
-		out.EpochP95 = append(out.EpochP95, p95OrZero(st.respByEpoch[e]))
-	}
+	out.EpochP95 = append(out.EpochP95, st.epochP95...)
 	for n, spec := range st.cfg.Nodes {
 		nr := NodeResult{
 			Name:       spec.Name,

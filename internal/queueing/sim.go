@@ -103,6 +103,25 @@ func (r Result) P95Response() float64 { return stats.Percentile(r.ResponseTimes,
 // simulations" (§3.3).
 func (r Result) MeanQueueDelay() float64 { return stats.Mean(r.QueueDelays) }
 
+// Simulator runs FCFS G/G/k simulations with reusable state: the RNG,
+// the server-free heap and the result slices are retained between runs,
+// so a caller issuing many simulations (the fleet migrator evaluates
+// every candidate node each epoch) performs no steady-state allocation.
+// The Result returned by Run aliases the simulator's buffers and is
+// overwritten by the next Run; callers that retain it must copy.
+// Numerics are bit-identical to Simulate (TestSimulatorMatchesSimulate).
+type Simulator struct {
+	rng        *stats.RNG
+	serverFree []float64
+	resp       []float64
+	delays     []float64
+	arrs       []float64
+}
+
+// NewSimulator returns a simulator with empty buffers; they grow to the
+// largest run issued and are reused thereafter.
+func NewSimulator() *Simulator { return &Simulator{} }
+
 // Simulate runs the FCFS G/G/k simulation with timeout-triggered speedup.
 //
 // Because service is FCFS and non-preemptive per query, each query's
@@ -110,21 +129,48 @@ func (r Result) MeanQueueDelay() float64 { return stats.Mean(r.QueueDelays) }
 // boost instant runs at rate 1, the remainder at BoostRate. A query whose
 // queueing delay already exceeds the timeout runs boosted from its first
 // cycle — exactly how the testbed's proxy behaves.
+//
+// The returned Result owns fresh slices. Hot paths issuing many
+// simulations should hold a Simulator and call Run instead.
 func Simulate(cfg Config) (Result, error) {
+	var s Simulator
+	return s.Run(cfg)
+}
+
+// Run executes one simulation, reusing the simulator's buffers.
+func (s *Simulator) Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
-	rng := stats.NewRNG(cfg.Seed)
+	if s.rng == nil {
+		s.rng = stats.NewRNG(cfg.Seed)
+	} else {
+		s.rng.Reseed(cfg.Seed)
+	}
+	rng := s.rng
 	total := cfg.Queries + cfg.Warmup
 
 	// serverFree[i] is when server i next becomes idle; FCFS assigns each
 	// arrival to the earliest-free server (equivalent to a single queue).
-	serverFree := make([]float64, cfg.Servers)
+	if cap(s.serverFree) < cfg.Servers {
+		s.serverFree = make([]float64, cfg.Servers)
+	} else {
+		s.serverFree = s.serverFree[:cfg.Servers]
+		for i := range s.serverFree {
+			s.serverFree[i] = 0
+		}
+	}
+	serverFree := s.serverFree
 
+	if cap(s.resp) < cfg.Queries {
+		s.resp = make([]float64, 0, cfg.Queries)
+		s.delays = make([]float64, 0, cfg.Queries)
+		s.arrs = make([]float64, 0, cfg.Queries)
+	}
 	res := Result{
-		ResponseTimes: make([]float64, 0, cfg.Queries),
-		QueueDelays:   make([]float64, 0, cfg.Queries),
-		Arrivals:      make([]float64, 0, cfg.Queries),
+		ResponseTimes: s.resp[:0],
+		QueueDelays:   s.delays[:0],
+		Arrivals:      s.arrs[:0],
 	}
 	boosted := 0
 	now := 0.0
@@ -180,6 +226,7 @@ func Simulate(cfg Config) (Result, error) {
 	if cfg.Queries > 0 {
 		res.BoostedFrac = float64(boosted) / float64(cfg.Queries)
 	}
+	s.resp, s.delays, s.arrs = res.ResponseTimes, res.QueueDelays, res.Arrivals
 	simRuns.Inc()
 	simQueries.Add(uint64(cfg.Queries))
 	simBoosted.Add(uint64(boosted))

@@ -1,0 +1,79 @@
+package queueing
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"stac/internal/stats"
+)
+
+func simulatorConfigs() []Config {
+	return []Config{
+		{
+			Servers: 1,
+			Arrival: stats.Exponential{Rate: 0.6},
+			Service: stats.Exponential{Rate: 1},
+			Timeout: math.Inf(1), BoostRate: 1,
+			Queries: 500, Warmup: 50, Seed: 7,
+		},
+		{
+			Servers: 2,
+			Arrival: stats.Exponential{Rate: 1.4},
+			Service: stats.LognormalFromMeanCV(1, 0.8),
+			Timeout: 2.5, BoostRate: 1.6,
+			Queries: 800, Warmup: 80, Seed: 19,
+		},
+		{
+			Servers: 4,
+			Arrival: stats.Exponential{Rate: 3},
+			Service: stats.LognormalFromMeanCV(1, 0.3),
+			Timeout: 0, BoostRate: 1.3,
+			Queries: 300, Warmup: 30, Seed: 31,
+		},
+	}
+}
+
+// TestSimulatorMatchesSimulate pins that a reused Simulator is
+// bit-identical to the one-shot Simulate across back-to-back runs with
+// different shapes (server counts, timeouts, query counts), including
+// shrinking runs that leave stale data in the pooled buffers.
+func TestSimulatorMatchesSimulate(t *testing.T) {
+	s := NewSimulator()
+	cfgs := simulatorConfigs()
+	// Walk the configs twice so every transition (grow, shrink, reseed)
+	// is exercised on warm buffers.
+	for pass := 0; pass < 2; pass++ {
+		for i, cfg := range cfgs {
+			got, err := s.Run(cfg)
+			if err != nil {
+				t.Fatalf("pass %d cfg %d: %v", pass, i, err)
+			}
+			want, err := Simulate(cfg)
+			if err != nil {
+				t.Fatalf("pass %d cfg %d: %v", pass, i, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("pass %d cfg %d: reused simulator diverged from Simulate", pass, i)
+			}
+		}
+	}
+}
+
+// TestSimulatorRunNoAllocs pins the optimisation itself: once warm, Run
+// performs zero steady-state allocations.
+func TestSimulatorRunNoAllocs(t *testing.T) {
+	s := NewSimulator()
+	cfg := simulatorConfigs()[1]
+	if _, err := s.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Simulator.Run allocates %v times per run, want 0", allocs)
+	}
+}

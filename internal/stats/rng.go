@@ -42,6 +42,19 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// Reseed resets the generator in place to the exact state NewRNG(seed)
+// would construct, so long-lived components (pooled simulators, reusable
+// machines) can restart their stream without allocating a new generator.
+func (r *RNG) Reseed(seed uint64) {
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -146,6 +146,10 @@ type Machine struct {
 	busyExecs int
 	doneSvcs  int
 
+	// lean mirrors cond.DisableCounterWindows: skip window sampling and
+	// per-query counter attribution (see the Condition field's doc).
+	lean bool
+
 	// scratch recycles exec nodes (and their per-window trace backings)
 	// across dispatches and, via scratchPool, across runs.
 	scratch *runScratch
@@ -237,28 +241,129 @@ func NewMachine(cond Condition) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{cond: cond, h: h, rng: stats.NewRNG(cond.Seed), scratch: scratchPool.Get().(*runScratch)}
+	m := &Machine{h: h}
+	if err := m.init(cond, masks); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reset returns the machine to the state NewMachine(cond) would
+// construct, reusing the arena-allocated cache hierarchy, the per-
+// service ring queues, core slots and the exec scratch instead of
+// rebuilding them. A reset machine's run is bit-identical to a fresh
+// machine's (TestMachineResetEquivalence): the hierarchy reset restores
+// every cache to its as-constructed state, RNG streams are reseeded in
+// construction order, and all mutable per-service state is rebuilt.
+// The condition may differ arbitrarily from the previous one — a new
+// processor geometry falls back to allocating a fresh hierarchy. The
+// fleet holds one persistent machine per node and resets it each epoch,
+// which removes machine construction from the epoch hot path entirely.
+// On error the machine is left in an undefined state and must be reset
+// again (successfully) before the next Run.
+func (m *Machine) Reset(cond Condition) error {
+	cond = cond.Defaults()
+	if err := cond.Validate(); err != nil {
+		return err
+	}
+	masks, err := layoutMasks(cond)
+	if err != nil {
+		return err
+	}
+	if hc := cond.Processor.HierarchyConfig(); hc != m.h.Config() {
+		h, err := cache.NewHierarchy(hc)
+		if err != nil {
+			return err
+		}
+		m.h = h
+	} else {
+		m.h.Reset()
+	}
+	return m.init(cond, masks)
+}
+
+// init (re)builds all mutable machine state for cond on top of a fresh
+// or freshly-reset hierarchy. It is the single construction path behind
+// NewMachine and Reset, so the two cannot drift: RNG splits, calibration
+// seeds and per-service field initialisation happen in exactly one
+// order.
+func (m *Machine) init(cond Condition, masks []cat.MaskPolicy) error {
+	// Drop leftover in-flight state from a previous (possibly truncated)
+	// run before the service list is rebuilt.
+	for _, s := range m.svcs {
+		for i := range s.running {
+			s.running[i] = nil
+		}
+		for i := range s.windowExecs {
+			s.windowExecs[i] = nil
+		}
+		s.windowExecs = s.windowExecs[:0]
+		s.queue.reset()
+	}
+	m.cond = cond
+	m.lean = cond.DisableCounterWindows
+	if m.rng == nil {
+		m.rng = stats.NewRNG(cond.Seed)
+	} else {
+		m.rng.Reseed(cond.Seed)
+	}
+	if m.scratch == nil {
+		m.scratch = scratchPool.Get().(*runScratch)
+	}
+	m.windowStart = 0
+	m.windowSpans = m.windowSpans[:0]
+	m.busyExecs = 0
+	m.doneSvcs = 0
+
 	// Calibrations are keyed on CalibrationSeed when set, so fleet epochs
 	// that vary the run Seed per epoch still hit the process-wide memo.
 	calSeed := cond.Seed
 	if cond.CalibrationSeed != 0 {
 		calSeed = cond.CalibrationSeed
 	}
+	prev := m.svcs
+	m.svcs = m.svcs[:0]
 	for i, spec := range cond.Services {
 		pol := masks[i]
 		base := uint64(i+1) << 32
 		exp, err := CalibrateServiceTime(cond.Processor, spec.Kernel, pol.Default, base, calSeed+uint64(i)*7919)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if exp <= 0 {
-			return nil, fmt.Errorf("testbed: calibration of %s produced %v", spec.Kernel.Name, exp)
+			return fmt.Errorf("testbed: calibration of %s produced %v", spec.Kernel.Name, exp)
 		}
 		rate := spec.Load * float64(cond.CoresPerService) / exp
-		svc := &service{
+		var svc *service
+		var cores []int
+		var patterns []workload.Pattern
+		var running []*exec
+		var windowExecs []*exec
+		var queue queryRing
+		if i < len(prev) {
+			// Reuse the previous service's slice backings and (reset) ring
+			// buffer; every field is reassigned below, so no state leaks.
+			svc = prev[i]
+			cores, patterns = svc.cores[:0], svc.patterns[:0]
+			windowExecs, queue = svc.windowExecs[:0], svc.queue
+			if cap(svc.running) >= cond.CoresPerService {
+				running = svc.running[:cond.CoresPerService]
+				for c := range running {
+					running[c] = nil
+				}
+			}
+		} else {
+			svc = &service{}
+		}
+		if running == nil {
+			running = make([]*exec, cond.CoresPerService)
+		}
+		*svc = service{
 			spec:        spec,
 			name:        spec.Kernel.Name,
 			clos:        i,
+			cores:       cores,
+			patterns:    patterns,
 			defaultMask: pol.Default,
 			boostMask:   pol.Boost,
 			boostRatio:  maskRatio(pol),
@@ -267,7 +372,9 @@ func NewMachine(cond Condition) (*Machine, error) {
 			rate:        rate,
 			warmup:      cond.WarmupQueries,
 			measure:     cond.QueriesPerService,
-			running:     make([]*exec, cond.CoresPerService),
+			queue:       queue,
+			running:     running,
+			windowExecs: windowExecs,
 		}
 		for c := 0; c < cond.CoresPerService; c++ {
 			svc.cores = append(svc.cores, i*cond.CoresPerService+c)
@@ -292,10 +399,10 @@ func NewMachine(cond Condition) (*Machine, error) {
 		} else {
 			svc.source = workload.NewSource(spec.Kernel, stats.Exponential{Rate: rate}, m.rng.Split())
 		}
-		h.SetMask(svc.clos, pol.Default)
+		m.h.SetMask(svc.clos, pol.Default)
 		m.svcs = append(m.svcs, svc)
 	}
-	return m, nil
+	return nil
 }
 
 // layoutMasks materialises per-service default/boost capacity bitmasks
@@ -502,7 +609,7 @@ func (m *Machine) Run() (*RunResult, error) {
 				m.updatePressure(quantum)
 				rot++
 				now += quantum
-				if now >= nextSample {
+				if !m.lean && now >= nextSample {
 					span := now - m.windowStart
 					for _, s := range m.svcs {
 						m.sample(s, span)
@@ -548,7 +655,7 @@ func (m *Machine) Run() (*RunResult, error) {
 		}
 
 		now += quantum
-		if now >= nextSample {
+		if !m.lean && now >= nextSample {
 			span := now - m.windowStart
 			for _, s := range m.svcs {
 				m.sample(s, span)
@@ -563,16 +670,19 @@ func (m *Machine) Run() (*RunResult, error) {
 	// When the loop just sampled (span zero) no counters have accrued:
 	// appending another window would duplicate the last queue-depth entry
 	// and record a meaningless all-zero delta, so only the pending
-	// measured-query attribution is finalised.
-	if span := now - m.windowStart; span > 0 {
-		for _, s := range m.svcs {
-			m.sample(s, span)
-		}
-		m.windowStart = now
-		m.windowSpans = append(m.windowSpans, span)
-	} else {
-		for _, s := range m.svcs {
-			m.finalizeWindow(s)
+	// measured-query attribution is finalised. Lean runs track no
+	// windows: reap already retired every finished execution.
+	if !m.lean {
+		if span := now - m.windowStart; span > 0 {
+			for _, s := range m.svcs {
+				m.sample(s, span)
+			}
+			m.windowStart = now
+			m.windowSpans = append(m.windowSpans, span)
+		} else {
+			for _, s := range m.svcs {
+				m.finalizeWindow(s)
+			}
 		}
 	}
 
@@ -593,9 +703,11 @@ func (m *Machine) Run() (*RunResult, error) {
 		})
 	}
 	m.publishMetrics(now)
-	// Donate the allocation scratch back to the pool. The machine is
-	// single-shot; dropping the reference makes accidental reuse fail
-	// fast instead of corrupting a concurrent run.
+	// Donate the allocation scratch back to the pool. A machine is
+	// one-shot per Reset: dropping the reference makes accidental re-Run
+	// without a Reset fail fast instead of corrupting a concurrent run,
+	// and Reset re-acquires a scratch (typically this very one) from the
+	// pool.
 	scratchPool.Put(m.scratch)
 	m.scratch = nil
 	return res, nil
@@ -684,7 +796,9 @@ func (m *Machine) dispatch(s *service, now float64) {
 		ne.clock = now
 		ne.measuredIdx = -1
 		s.running[ci] = ne
-		s.windowExecs = append(s.windowExecs, ne)
+		if !m.lean {
+			s.windowExecs = append(s.windowExecs, ne)
+		}
 		m.busyExecs++
 	}
 }
@@ -814,6 +928,14 @@ func (m *Machine) reap(s *service) {
 				Completion: e.clock,
 				Boosted:    e.boosted,
 			})
+		}
+		if m.lean {
+			// No window attribution: the execution is finished the moment
+			// it is reaped. Nothing was donated to the result, so the node
+			// (and its trace backing) recycles unconditionally.
+			e.measuredIdx = -1
+			m.retireExec(e)
+			continue
 		}
 		// Completed execs stay in windowExecs until the next sample so
 		// their final window share is attributed.

@@ -300,6 +300,13 @@ if bs and cs:
 bq, cq = base.get("fleet_queries_per_second"), cur.get("fleet_queries_per_second")
 if bq and cq:
     print(f"| fleet queries/s | {bq:.0f} | {cq:.0f} | {(cq - bq) / bq * 100:+.1f}% | |")
+# Fleet allocation budget: the machine-reuse fast path is pinned by
+# allocs/op on the whole-run benchmark, not just ns/op (which is noisy
+# on shared runners).
+bf = bb.get("BenchmarkFleetRun", {}).get("allocs_per_op")
+cf = cb.get("BenchmarkFleetRun", {}).get("allocs_per_op")
+if bf and cf:
+    print(f"| fleet run allocs/op | {bf} | {cf} | {(cf - bf) / bf * 100:+.1f}% | |")
 PYEOF
     rm -f "$baseline"
 }
